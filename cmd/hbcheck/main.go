@@ -1,0 +1,177 @@
+// Command hbcheck model-checks the accelerated heartbeat protocols and
+// regenerates the verification tables of the analysis:
+//
+//	hbcheck -table 1        # binary family (Table 1)
+//	hbcheck -table 2        # expanding + dynamic (Table 2)
+//	hbcheck -table fixed    # corrected protocols (§6), all entries T
+//	hbcheck -table all      # everything
+//	hbcheck -variant binary -tmin 10 -prop R2 -trace
+//
+// Exit status is 0 when every verdict matches the analysis' expectation
+// (tables mode) or when the requested property holds (single mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/mc"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		table     = flag.String("table", "", "regenerate a verification table: 1, 2, fixed, or all")
+		variant   = flag.String("variant", "", "single check: binary, revised-binary, two-phase, static, expanding, dynamic")
+		prop      = flag.String("prop", "R1", "single check: property R1, R2 or R3")
+		tmin      = flag.Int("tmin", 1, "single check: tmin")
+		tmax      = flag.Int("tmax", 10, "tmax (tables use the paper's 10)")
+		n         = flag.Int("n", 0, "participants (default: 2 for static, 1 otherwise)")
+		fixed     = flag.Bool("fixed", false, "single check: check the corrected (§6) protocol")
+		showTrace = flag.Bool("trace", false, "single check: print the counter-example when the property fails")
+		maxStates = flag.Int("max-states", 20_000_000, "state-space limit per check")
+	)
+	flag.Parse()
+
+	opts := mc.Options{MaxStates: *maxStates}
+	switch {
+	case *table != "":
+		if err := runTables(*table, int32(*tmax), opts); err != nil {
+			fmt.Fprintln(os.Stderr, "hbcheck:", err)
+			os.Exit(1)
+		}
+	case *variant != "":
+		ok, err := runSingle(*variant, *prop, int32(*tmin), int32(*tmax), *n, *fixed, *showTrace, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbcheck:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(2)
+		}
+	default:
+		flag.Usage()
+		os.Exit(1)
+	}
+}
+
+func parseVariant(s string) (models.Variant, error) {
+	for _, v := range []models.Variant{
+		models.Binary, models.RevisedBinary, models.TwoPhase,
+		models.Static, models.Expanding, models.Dynamic,
+	} {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
+}
+
+func parseProp(s string) (models.Property, error) {
+	switch strings.ToUpper(s) {
+	case "R1":
+		return models.R1, nil
+	case "R2":
+		return models.R2, nil
+	case "R3":
+		return models.R3, nil
+	}
+	return 0, fmt.Errorf("unknown property %q", s)
+}
+
+func defaultN(v models.Variant, n int) int {
+	if n > 0 {
+		return n
+	}
+	if v == models.Static {
+		return 2
+	}
+	return 1
+}
+
+func runSingle(variant, prop string, tmin, tmax int32, n int, fixed, showTrace bool, opts mc.Options) (bool, error) {
+	v, err := parseVariant(variant)
+	if err != nil {
+		return false, err
+	}
+	p, err := parseProp(prop)
+	if err != nil {
+		return false, err
+	}
+	cfg := models.Config{TMin: tmin, TMax: tmax, Variant: v, N: defaultN(v, n), Fixed: fixed}
+	verdict, err := models.Verify(cfg, p, opts)
+	if err != nil {
+		return false, err
+	}
+	status := "satisfied"
+	if !verdict.Satisfied {
+		status = "VIOLATED"
+	}
+	fmt.Printf("%v %v tmin=%d tmax=%d fixed=%v: %s (%d states, %d transitions)\n",
+		v, p, tmin, tmax, fixed, status,
+		verdict.Result.StatesExplored, verdict.Result.TransitionsExplored)
+	if !verdict.Satisfied && showTrace {
+		title := fmt.Sprintf("counter-example for %v on the %v protocol (tmin=%d, tmax=%d)", p, v, tmin, tmax)
+		if err := trace.Render(os.Stdout, title, verdict.Result.Trace); err != nil {
+			return false, err
+		}
+	}
+	return verdict.Satisfied, nil
+}
+
+func runTables(which string, tmax int32, opts mc.Options) error {
+	run := func(title string, spec models.TableSpec) error {
+		fmt.Println("==", title)
+		cells, err := models.RunTable(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(models.FormatTable(cells))
+		return nil
+	}
+	tmins := models.DefaultTMins()
+	table1 := models.TableSpec{
+		Variants: []models.Variant{models.Binary, models.RevisedBinary, models.TwoPhase, models.Static},
+		TMins:    tmins, TMax: tmax, N: 2, Opts: opts,
+	}
+	table2 := models.TableSpec{
+		Variants: []models.Variant{models.Expanding, models.Dynamic},
+		TMins:    tmins, TMax: tmax, N: 1, Opts: opts,
+	}
+	fixed1 := table1
+	fixed1.Fixed = true
+	fixed2 := table2
+	fixed2.Fixed = true
+
+	switch which {
+	case "1":
+		return run("Table 1: binary family, original protocols (expect R1: F F F T T; R2/R3: T T T T F; two-phase R1 diverges at tmin=9)", table1)
+	case "2":
+		return run("Table 2: expanding and dynamic, original protocols (expect R1: F F F T T; R2: T T F F F; R3: T T T T F)", table2)
+	case "fixed":
+		if err := run("Corrected binary family (§6, expect all T)", fixed1); err != nil {
+			return err
+		}
+		return run("Corrected expanding and dynamic (§6, expect all T)", fixed2)
+	case "all":
+		for _, t := range []struct {
+			title string
+			spec  models.TableSpec
+		}{
+			{"Table 1: binary family, original protocols", table1},
+			{"Table 2: expanding and dynamic, original protocols", table2},
+			{"Corrected binary family (§6)", fixed1},
+			{"Corrected expanding and dynamic (§6)", fixed2},
+		} {
+			if err := run(t.title, t.spec); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown table %q (want 1, 2, fixed or all)", which)
+	}
+}

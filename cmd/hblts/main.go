@@ -1,0 +1,87 @@
+// Command hblts generates the transition systems of the isolated binary
+// protocol processes (Figures 1 and 2 of the analysis): the full reachable
+// graph, then the weak-trace reduction the analysis applies, exported as
+// text, Aldebaran (.aut) or Graphviz (.dot).
+//
+//	hblts -proc p0 -tmin 1 -tmax 2              # stats + transitions
+//	hblts -proc p1 -format dot > p1.dot
+//	hblts -proc p0 -format aut -no-reduce
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mc"
+	"repro/internal/models"
+	"repro/internal/ta"
+)
+
+func main() {
+	var (
+		proc     = flag.String("proc", "p0", "process to isolate: p0 or p1")
+		tmin     = flag.Int("tmin", 1, "tmin (the figures use 1)")
+		tmax     = flag.Int("tmax", 2, "tmax (the figures use 2)")
+		format   = flag.String("format", "text", "output: text, aut or dot")
+		noReduce = flag.Bool("no-reduce", false, "emit the full graph instead of the weak-trace reduction")
+		hideTick = flag.Bool("hide-tick", false, "hide tick transitions before reducing")
+	)
+	flag.Parse()
+
+	if err := run(*proc, int32(*tmin), int32(*tmax), *format, !*noReduce, *hideTick); err != nil {
+		fmt.Fprintln(os.Stderr, "hblts:", err)
+		os.Exit(1)
+	}
+}
+
+func run(proc string, tmin, tmax int32, format string, reduce, hideTick bool) error {
+	var (
+		net *ta.Network
+		err error
+	)
+	switch proc {
+	case "p0":
+		net, err = models.BuildIsolatedP0(tmin, tmax)
+	case "p1":
+		net, err = models.BuildIsolatedP1(tmin, tmax)
+	default:
+		return fmt.Errorf("unknown process %q (want p0 or p1)", proc)
+	}
+	if err != nil {
+		return err
+	}
+	l, err := mc.BuildLTS(net, mc.Options{})
+	if err != nil {
+		return err
+	}
+	full := l
+	if hideTick {
+		l = l.Hide(func(label string) bool { return label == "tick" })
+	}
+	if reduce {
+		l, err = l.WeakTraceReduce(mc.Options{})
+		if err != nil {
+			return err
+		}
+	}
+	switch format {
+	case "text":
+		fmt.Printf("isolated %s (tmin=%d, tmax=%d): %d states, %d transitions",
+			proc, tmin, tmax, full.NumStates, len(full.Transitions))
+		if reduce {
+			fmt.Printf(" -> reduced: %d states, %d transitions", l.NumStates, len(l.Transitions))
+		}
+		fmt.Println()
+		for _, t := range l.Transitions {
+			fmt.Printf("  s%d --%s--> s%d\n", t.From, t.Label, t.To)
+		}
+		return nil
+	case "aut":
+		return l.WriteAUT(os.Stdout)
+	case "dot":
+		return l.WriteDOT(os.Stdout, proc)
+	default:
+		return fmt.Errorf("unknown format %q (want text, aut or dot)", format)
+	}
+}

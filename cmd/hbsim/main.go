@@ -1,0 +1,157 @@
+// Command hbsim runs the quantitative Monte-Carlo experiments (the
+// reconstructed 1998 evaluation): steady-state overhead, crash-detection
+// latency, and false-detection probability under message loss, for the
+// accelerated protocols against the plain fixed-period baseline.
+//
+//	hbsim -exp overhead
+//	hbsim -exp detection -trials 200
+//	hbsim -exp reliability -trials 400
+//	hbsim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/netem"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: overhead, detection, reliability or all")
+		trials = flag.Int("trials", 200, "Monte-Carlo trials per data point")
+		seed   = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	var err error
+	switch *exp {
+	case "overhead":
+		err = overhead()
+	case "detection":
+		err = detection(*trials, *seed)
+	case "reliability":
+		err = reliability(*trials, *seed)
+	case "all":
+		if err = overhead(); err == nil {
+			if err = detection(*trials, *seed); err == nil {
+				err = reliability(*trials, *seed)
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func acceleratedCluster(tmin, tmax core.Tick) detector.ClusterConfig {
+	return detector.ClusterConfig{
+		Protocol: detector.ProtocolBinary,
+		Core:     core.Config{TMin: tmin, TMax: tmax},
+	}
+}
+
+// overhead: Q1 — steady-state message rate vs tmax, against the plain
+// baseline dimensioned for the same worst-case detection bound and the
+// same loss tolerance.
+func overhead() error {
+	fmt.Println("== Q1: steady-state overhead (messages/tick), fault-free, binary protocol")
+	fmt.Printf("%8s %8s %14s %22s %22s\n",
+		"tmax", "tmin", "accelerated", "plain @same detect", "plain @same tolerance")
+	tmin := core.Tick(2)
+	for _, tmax := range []core.Tick{8, 16, 32, 64, 128} {
+		res, err := scenario.MeasureOverhead(scenario.OverheadConfig{
+			Cluster:  acceleratedCluster(tmin, tmax),
+			Duration: sim.Time(tmax) * 400,
+		})
+		if err != nil {
+			return err
+		}
+		// Plain baseline dimensioned to the same detection bound with a
+		// single tolerated miss: period = bound/2.
+		bound := acceleratedCluster(tmin, tmax).Core.CoordinatorDetectionBound()
+		plainSameDetect := scenario.PlainOverhead(1, bound/2)
+		// Plain baseline matching the accelerated loss tolerance
+		// (log2(tmax/tmin) consecutive losses) at the same bound:
+		// period = bound/(k+1).
+		k := 0
+		for t := tmax; t/2 >= tmin; t /= 2 {
+			k++
+		}
+		plainSameTol := scenario.PlainOverhead(1, bound/core.Tick(k+1))
+		fmt.Printf("%8d %8d %14.4f %22.4f %22.4f\n",
+			tmax, tmin, res.MessagesPerTick, plainSameDetect, plainSameTol)
+	}
+	fmt.Println()
+	return nil
+}
+
+// detection: Q2 — crash-to-detection latency distribution vs (tmin, tmax),
+// checked against the corrected bound.
+func detection(trials int, seed int64) error {
+	fmt.Println("== Q2: crash detection latency (ticks), binary protocol")
+	fmt.Printf("%8s %8s %10s %43s\n", "tmax", "tmin", "bound", "measured crash→suspicion delay")
+	for _, cfg := range []struct{ tmin, tmax core.Tick }{
+		{2, 8}, {2, 16}, {4, 16}, {8, 16}, {2, 32}, {8, 32},
+	} {
+		cluster := acceleratedCluster(cfg.tmin, cfg.tmax)
+		cluster.Link = netem.LinkConfig{MaxDelay: sim.Time(cfg.tmin) / 2}
+		res, err := scenario.MeasureDetection(scenario.DetectionConfig{
+			Cluster:     cluster,
+			CrashAt:     sim.Time(cfg.tmax) * 10,
+			CrashJitter: sim.Time(cfg.tmax),
+			Horizon:     sim.Time(cfg.tmax) * 22,
+			Trials:      trials,
+			Seed:        seed,
+		})
+		if err != nil {
+			return err
+		}
+		if res.Missed > 0 {
+			return fmt.Errorf("tmax=%d: %d crashes undetected", cfg.tmax, res.Missed)
+		}
+		fmt.Printf("%8d %8d %10d %43s\n", cfg.tmax, cfg.tmin, res.Bound, res.Delays.Describe())
+	}
+	fmt.Println()
+	return nil
+}
+
+// reliability: Q3 — probability of a false (loss-induced) inactivation
+// within a horizon, accelerated vs plain at matched message rate.
+func reliability(trials int, seed int64) error {
+	fmt.Println("== Q3: false-detection probability within 4000 ticks vs per-message loss rate")
+	fmt.Println("   accelerated binary (tmin=2, tmax=16) vs plain (period=16, 1 miss) at equal message rate")
+	fmt.Printf("%8s %14s %14s\n", "loss", "accelerated", "plain")
+	horizon := sim.Time(4000)
+	for _, loss := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5} {
+		acc, err := scenario.MeasureReliability(scenario.ReliabilityConfig{
+			Cluster:  acceleratedCluster(2, 16),
+			LossProb: loss,
+			Horizon:  horizon,
+			Trials:   trials,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		plain, err := scenario.MeasurePlainReliability(
+			scenario.PlainClusterConfig{Period: 16, MissLimit: 1, N: 1},
+			loss, horizon, trials, seed)
+		if err != nil {
+			return err
+		}
+		pa, _ := acc.FalseDetection.Value()
+		pp, _ := plain.FalseDetection.Value()
+		fmt.Printf("%8.2f %14.3f %14.3f\n", loss, pa, pp)
+	}
+	fmt.Println()
+	return nil
+}

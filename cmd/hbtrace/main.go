@@ -1,0 +1,89 @@
+// Command hbtrace regenerates the counter-example figures of the analysis
+// as ASCII message-sequence charts:
+//
+//	hbtrace            # all five figures (10a, 10b, 11, 12, 13)
+//	hbtrace -fig 11    # one figure
+//	hbtrace -list      # catalogue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mc"
+	"repro/internal/models"
+	"repro/internal/ta"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to reproduce (10a, 10b, 11, 12, 13); empty = all")
+		list      = flag.Bool("list", false, "list the figure catalogue")
+		maxStates = flag.Int("max-states", 20_000_000, "state-space limit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range models.Figures() {
+			fmt.Printf("%-4s %v/%v tmin=%d tmax=%d: %s\n",
+				f.ID, f.Cfg.Variant, f.Prop, f.Cfg.TMin, f.Cfg.TMax, f.Title)
+		}
+		return
+	}
+
+	figures := models.Figures()
+	if *fig != "" {
+		f, err := models.FindFigure(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbtrace:", err)
+			os.Exit(1)
+		}
+		figures = []models.Figure{f}
+	}
+	opts := mc.Options{MaxStates: *maxStates}
+	for _, f := range figures {
+		if err := render(f, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "hbtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func render(f models.Figure, opts mc.Options) error {
+	steps, err := witness(f, opts)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure %s — %s", f.ID, f.Title)
+	return trace.Render(os.Stdout, title, steps)
+}
+
+// witness finds the figure's counter-example. Figure 10a additionally
+// requires the stale-beat shape (p[0] heard from p[1] at least once), the
+// feature distinguishing it from the trivial 10b decay.
+func witness(f models.Figure, opts mc.Options) ([]mc.Step, error) {
+	if f.ID == "10a" {
+		m, err := models.Build(f.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.VerifyGoal(func(s *ta.State) bool {
+			return m.R1Violated(s) && m.EverDelivered(s, 0) && !m.MessageLost(s)
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Reachable {
+			return nil, fmt.Errorf("figure 10a: stale-beat counter-example not found")
+		}
+		return res.Trace, nil
+	}
+	v, err := f.Reproduce(opts)
+	if err != nil {
+		return nil, err
+	}
+	return v.Result.Trace, nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Membership selects how the coordinator learns its peer set.
+type Membership int
+
+// Membership modes, mirroring the protocol family: the binary and static
+// protocols fix the peer set up front; the expanding protocol admits
+// joiners; the dynamic protocol additionally processes leaves.
+const (
+	MembershipFixed Membership = iota + 1
+	MembershipExpanding
+	MembershipDynamic
+)
+
+// String implements fmt.Stringer.
+func (m Membership) String() string {
+	switch m {
+	case MembershipFixed:
+		return "fixed"
+	case MembershipExpanding:
+		return "expanding"
+	case MembershipDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Membership(%d)", int(m))
+	}
+}
+
+// CoordinatorConfig configures a Coordinator (p[0]).
+type CoordinatorConfig struct {
+	Config
+	// Membership selects fixed (binary/static), expanding, or dynamic
+	// peer management.
+	Membership Membership
+	// Members is the fixed peer set; required non-empty for
+	// MembershipFixed, must be empty otherwise (peers join at run time).
+	Members []ProcID
+	// AllowRejoin enables the rejoin extension (dynamic membership
+	// only): a departed peer may join again with a higher incarnation
+	// number; stale beats from its earlier incarnations are ignored.
+	AllowRejoin bool
+}
+
+// Validate checks the configuration.
+func (c CoordinatorConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	switch c.Membership {
+	case MembershipFixed:
+		if len(c.Members) == 0 {
+			return fmt.Errorf("%w: fixed membership needs at least one member", ErrConfig)
+		}
+		seen := make(map[ProcID]bool, len(c.Members))
+		for _, id := range c.Members {
+			if id == CoordinatorID {
+				return fmt.Errorf("%w: member list contains the coordinator", ErrConfig)
+			}
+			if seen[id] {
+				return fmt.Errorf("%w: duplicate member %d", ErrConfig, id)
+			}
+			seen[id] = true
+		}
+	case MembershipExpanding, MembershipDynamic:
+		if len(c.Members) != 0 {
+			return fmt.Errorf("%w: %v membership starts empty", ErrConfig, c.Membership)
+		}
+	default:
+		return fmt.Errorf("%w: unknown membership %d", ErrConfig, int(c.Membership))
+	}
+	if c.AllowRejoin && c.Membership != MembershipDynamic {
+		return fmt.Errorf("%w: rejoin requires dynamic membership", ErrConfig)
+	}
+	return nil
+}
+
+// memberState is the coordinator's per-peer bookkeeping: the rcvd flag and
+// the tm[i] waiting time of the static protocol, plus the peer's current
+// incarnation for the rejoin extension.
+type memberState struct {
+	rcvd bool
+	tm   Tick
+	inc  uint8
+}
+
+// Coordinator implements p[0] for every protocol variant. The binary
+// protocol is the fixed-membership instance with one member; the static
+// protocol is the same with n members; the expanding and dynamic protocols
+// grow (and, for dynamic, shrink) the member set at run time.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	status  Status
+	t       Tick // current round length
+	members map[ProcID]*memberState
+	// left records departed peers and the incarnation that left; without
+	// AllowRejoin, departure is permanent.
+	left    map[ProcID]uint8
+	started bool
+}
+
+var _ Machine = (*Coordinator)(nil)
+
+// NewCoordinator builds a p[0] machine.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		status:  StatusActive,
+		t:       cfg.TMax,
+		members: make(map[ProcID]*memberState),
+		left:    make(map[ProcID]uint8),
+	}
+	for _, id := range cfg.Members {
+		// rcvd starts true, as in the mCRL2 model: the first round is a
+		// grace round; a peer is only suspected after missing a full
+		// exchange it was given the chance to answer.
+		c.members[id] = &memberState{rcvd: true, tm: cfg.TMax}
+	}
+	return c, nil
+}
+
+// Status implements Machine.
+func (c *Coordinator) Status() Status { return c.status }
+
+// RoundLength returns the current waiting time t.
+func (c *Coordinator) RoundLength() Tick { return c.t }
+
+// Members returns the current peer set in ascending order.
+func (c *Coordinator) Members() []ProcID {
+	ids := make([]ProcID, 0, len(c.members))
+	for id := range c.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Start implements Machine. The original protocol waits out a full round
+// before the first beat; the revised variant beats immediately.
+func (c *Coordinator) Start(now Tick) []Action {
+	if c.started {
+		return nil
+	}
+	c.started = true
+	actions := []Action{SetTimer{ID: TimerRound, Delay: c.t}}
+	if c.cfg.Revised {
+		actions = append(actions, c.sendAll()...)
+	}
+	return actions
+}
+
+// sendAll emits one beat per current member, in ascending ID order for
+// determinism.
+func (c *Coordinator) sendAll() []Action {
+	ids := c.Members()
+	actions := make([]Action, 0, len(ids))
+	for _, id := range ids {
+		actions = append(actions, SendBeat{To: id, Beat: Beat{From: CoordinatorID, Stay: true}})
+	}
+	return actions
+}
+
+// OnBeat implements Machine. A beat from a known member marks it received
+// for the current round. Under expanding/dynamic membership a beat from an
+// unknown, never-departed process is a join request. Under dynamic
+// membership a beat with Stay=false is a leave, acknowledged immediately
+// with a false beat, after which the peer no longer counts toward the
+// round computation.
+func (c *Coordinator) OnBeat(b Beat, now Tick) []Action {
+	if c.status != StatusActive {
+		return nil // crashed processes receive but do not react
+	}
+	if b.From == CoordinatorID {
+		return nil // self-beats are a protocol error; ignore defensively
+	}
+	if !b.Stay && c.cfg.Membership == MembershipDynamic {
+		return c.onLeave(b.From, b.Inc)
+	}
+	m, known := c.members[b.From]
+	if known {
+		if b.Inc < m.inc {
+			return nil // stale beat from an earlier incarnation
+		}
+		m.inc = b.Inc
+		m.rcvd = true
+		m.tm = c.cfg.TMax
+		return nil
+	}
+	switch c.cfg.Membership {
+	case MembershipExpanding, MembershipDynamic:
+		if leftInc, departed := c.left[b.From]; departed {
+			if !c.cfg.AllowRejoin || b.Inc <= leftInc {
+				return nil // departure is permanent (or a stale join)
+			}
+			delete(c.left, b.From)
+		}
+		// Admit the joiner. It learns of its admission from p[0]'s next
+		// round broadcast, exactly as in the expanding protocol: p[0]
+		// does not acknowledge out of band.
+		c.members[b.From] = &memberState{rcvd: true, tm: c.cfg.TMax, inc: b.Inc}
+		return nil
+	default:
+		return nil // fixed membership ignores strangers
+	}
+}
+
+// onLeave processes a dynamic-protocol leave request. The acknowledgement
+// (a beat carrying the same false parameter, as the protocol prescribes)
+// is idempotent so that a leaver whose ack was lost can retry. A leave
+// from an incarnation older than the current member is stale — the peer
+// has already rejoined — and is ignored.
+func (c *Coordinator) onLeave(from ProcID, inc uint8) []Action {
+	if m, known := c.members[from]; known {
+		if inc < m.inc {
+			return nil // stale leave from a previous incarnation
+		}
+		delete(c.members, from)
+	}
+	if prev, ok := c.left[from]; !ok || inc > prev {
+		c.left[from] = inc
+	}
+	return []Action{SendBeat{To: from, Beat: Beat{From: CoordinatorID, Stay: false, Inc: inc}}}
+}
+
+// OnTimer implements Machine. At each round timeout p[0] applies the
+// acceleration rule per member, suspects members whose waiting time decayed
+// below tmin (which inactivates p[0] itself, per the protocol), and
+// otherwise beats every member and re-arms the round timer with the minimum
+// waiting time.
+func (c *Coordinator) OnTimer(id TimerID, now Tick) []Action {
+	if c.status != StatusActive || id != TimerRound {
+		return nil
+	}
+	var suspects []ProcID
+	next := c.cfg.TMax // round length with no members: idle at tmax
+	for pid, m := range c.members {
+		tm, ok := c.cfg.NextWait(m.tm, m.rcvd)
+		if !ok {
+			suspects = append(suspects, pid)
+		}
+		m.tm = tm
+		m.rcvd = false
+		if tm < next {
+			next = tm
+		}
+	}
+	if len(suspects) > 0 {
+		sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+		c.status = StatusInactive
+		actions := make([]Action, 0, len(suspects)+1)
+		for _, pid := range suspects {
+			actions = append(actions, Suspect{Proc: pid})
+		}
+		return append(actions, Inactivate{Voluntary: false})
+	}
+	c.t = next
+	actions := c.sendAll()
+	return append(actions, SetTimer{ID: TimerRound, Delay: c.t})
+}
+
+// Crash implements Machine.
+func (c *Coordinator) Crash(now Tick) []Action {
+	if c.status != StatusActive {
+		return nil
+	}
+	c.status = StatusCrashed
+	return []Action{CancelTimer{ID: TimerRound}, Inactivate{Voluntary: true}}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{TMin: 1, TMax: 10}, true},
+		{"equal bounds", Config{TMin: 10, TMax: 10}, true},
+		{"zero tmin", Config{TMin: 0, TMax: 10}, false},
+		{"negative tmin", Config{TMin: -1, TMax: 10}, false},
+		{"tmax below tmin", Config{TMin: 5, TMax: 4}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+			if err != nil && !errors.Is(err, ErrConfig) {
+				t.Fatalf("error %v is not ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tests := []struct {
+		name                      string
+		cfg                       Config
+		responder, joiner, detect Tick
+	}{
+		{
+			name:      "original tmin=1",
+			cfg:       Config{TMin: 1, TMax: 10},
+			responder: 29, joiner: 29, detect: 29,
+		},
+		{
+			name:      "original tmin=9 (2tmin>tmax)",
+			cfg:       Config{TMin: 9, TMax: 10},
+			responder: 21, joiner: 21, detect: 20,
+		},
+		{
+			name:      "original tmin=5 (2tmin==tmax)",
+			cfg:       Config{TMin: 5, TMax: 10},
+			responder: 25, joiner: 25, detect: 25,
+		},
+		{
+			name:      "fixed tmin=1",
+			cfg:       Config{TMin: 1, TMax: 10, Fixed: true},
+			responder: 20, joiner: 21, detect: 29,
+		},
+		{
+			name:      "fixed tmin=10",
+			cfg:       Config{TMin: 10, TMax: 10, Fixed: true},
+			responder: 20, joiner: 30, detect: 20,
+		},
+		{
+			name:      "two-phase tmin=4",
+			cfg:       Config{TMin: 4, TMax: 10, TwoPhase: true},
+			responder: 26, joiner: 26, detect: 24,
+		},
+		{
+			name:      "two-phase tmin=tmax",
+			cfg:       Config{TMin: 10, TMax: 10, TwoPhase: true},
+			responder: 20, joiner: 20, detect: 20,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.cfg.ResponderBound(); got != tt.responder {
+				t.Errorf("ResponderBound() = %d, want %d", got, tt.responder)
+			}
+			if got := tt.cfg.JoinerBound(); got != tt.joiner {
+				t.Errorf("JoinerBound() = %d, want %d", got, tt.joiner)
+			}
+			if got := tt.cfg.CoordinatorDetectionBound(); got != tt.detect {
+				t.Errorf("CoordinatorDetectionBound() = %d, want %d", got, tt.detect)
+			}
+		})
+	}
+}
+
+func TestNextWaitBinary(t *testing.T) {
+	cfg := Config{TMin: 1, TMax: 10}
+	// Receipt resets to tmax regardless of the current value.
+	if next, ok := cfg.NextWait(2, true); !ok || next != 10 {
+		t.Fatalf("NextWait(2, true) = %d,%v", next, ok)
+	}
+	// Misses halve: 10 → 5 → 2 → 1 → give up.
+	want := []Tick{5, 2, 1}
+	cur := Tick(10)
+	for _, w := range want {
+		next, ok := cfg.NextWait(cur, false)
+		if !ok || next != w {
+			t.Fatalf("NextWait(%d, false) = %d,%v, want %d,true", cur, next, ok, w)
+		}
+		cur = next
+	}
+	if _, ok := cfg.NextWait(cur, false); ok {
+		t.Fatalf("NextWait(%d, false) should exhaust", cur)
+	}
+}
+
+func TestNextWaitTwoPhase(t *testing.T) {
+	cfg := Config{TMin: 4, TMax: 10, TwoPhase: true}
+	if next, ok := cfg.NextWait(10, false); !ok || next != 4 {
+		t.Fatalf("first miss = %d,%v, want 4,true", next, ok)
+	}
+	if _, ok := cfg.NextWait(4, false); ok {
+		t.Fatal("second consecutive miss at tmin should exhaust")
+	}
+	if next, ok := cfg.NextWait(4, true); !ok || next != 10 {
+		t.Fatalf("receipt = %d,%v, want 10,true", next, ok)
+	}
+	// tmax == tmin: the first miss exhausts immediately, like binary.
+	eq := Config{TMin: 10, TMax: 10, TwoPhase: true}
+	if _, ok := eq.NextWait(10, false); ok {
+		t.Fatal("two-phase with tmin=tmax should exhaust on first miss")
+	}
+}
+
+// TestPropertyHalvingSeriesBound verifies the §6.2 geometric-series bound.
+// Worst case: the last beat arrives at the start of a round of length tmax;
+// that round ends with rcvd=true, resetting t=tmax; then every round
+// misses. The full interval — the stale round plus the decay series — must
+// not exceed CoordinatorDetectionBound: 2·tmax when 2·tmin > tmax,
+// 3·tmax − tmin otherwise.
+func TestPropertyHalvingSeriesBound(t *testing.T) {
+	f := func(a, b uint16) bool {
+		tmin := Tick(a%200) + 1
+		tmax := tmin + Tick(b%200)
+		cfg := Config{TMin: tmin, TMax: tmax}
+		decay := Tick(0) // rounds after the reset, starting at t=tmax
+		cur := tmax
+		for {
+			decay += cur // p[0] waits out the round, then misses
+			next, ok := cfg.NextWait(cur, false)
+			if !ok {
+				break
+			}
+			cur = next
+		}
+		return tmax+decay <= cfg.CoordinatorDetectionBound()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNextWaitMonotone: the waiting time never increases on a miss
+// and never leaves [tmin/2, tmax] while the protocol is live.
+func TestPropertyNextWaitMonotone(t *testing.T) {
+	f := func(a, b uint16, misses uint8) bool {
+		tmin := Tick(a%100) + 1
+		tmax := tmin + Tick(b%100)
+		cfg := Config{TMin: tmin, TMax: tmax}
+		cur := tmax
+		for i := 0; i < int(misses%16); i++ {
+			next, ok := cfg.NextWait(cur, false)
+			if !ok {
+				return next < tmin // exhaustion must mean sub-tmin
+			}
+			if next > cur || next < tmin || next > tmax {
+				return false
+			}
+			cur = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeatMarshalRoundTrip(t *testing.T) {
+	tests := []Beat{
+		{From: 0, Stay: true},
+		{From: 1, Stay: false},
+		{From: 255, Stay: true},
+		{From: 4095, Stay: false},
+	}
+	for _, b := range tests {
+		got, err := UnmarshalBeat(b.Marshal())
+		if err != nil {
+			t.Fatalf("UnmarshalBeat(%+v): %v", b, err)
+		}
+		if got != b {
+			t.Fatalf("round trip = %+v, want %+v", got, b)
+		}
+	}
+}
+
+func TestUnmarshalBeatRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{1, 0, 0},       // short
+		{1, 0, 0, 1, 0}, // long
+		{9, 0, 0, 1},    // bad version
+	}
+	for _, data := range bad {
+		if _, err := UnmarshalBeat(data); !errors.Is(err, ErrBadBeat) {
+			t.Errorf("UnmarshalBeat(%v) = %v, want ErrBadBeat", data, err)
+		}
+	}
+}
+
+// TestPropertyBeatRoundTrip fuzzes the codec over the ProcID and
+// incarnation ranges it supports.
+func TestPropertyBeatRoundTrip(t *testing.T) {
+	f := func(from uint16, stay bool, inc uint8) bool {
+		b := Beat{From: ProcID(int16(from)), Stay: stay, Inc: inc & 0x7F}
+		if int16(from) < 0 {
+			return true // negative IDs are not constructed by the library
+		}
+		got, err := UnmarshalBeat(b.Marshal())
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeatIncarnationRoundTrip(t *testing.T) {
+	b := Beat{From: 3, Stay: false, Inc: 127}
+	got, err := UnmarshalBeat(b.Marshal())
+	if err != nil || got != b {
+		t.Fatalf("round trip = %+v, %v", got, err)
+	}
+}
+
+func TestStatusAndTimerStrings(t *testing.T) {
+	if StatusActive.String() != "active" || StatusLeft.String() != "left" {
+		t.Fatal("Status.String mismatch")
+	}
+	if Status(99).String() == "" || TimerID(99).String() == "" {
+		t.Fatal("unknown values must still render")
+	}
+	if TimerRound.String() != "round" || TimerExpiry.String() != "expiry" {
+		t.Fatal("TimerID.String mismatch")
+	}
+}

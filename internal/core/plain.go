@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlainConfig configures the plain (non-accelerated) heartbeat baseline:
+// a fixed exchange period and a fixed number of consecutive missed rounds
+// tolerated before declaring a failure. This is the protocol the 1998 paper
+// accelerates: to match the accelerated protocol's detection latency it
+// must beat fast all the time, and a burst of MissLimit lost messages
+// produces a false detection.
+type PlainConfig struct {
+	// Period is the fixed round length in ticks.
+	Period Tick
+	// MissLimit is the number of consecutive rounds without a reply after
+	// which a member is suspected. Must be at least 1.
+	MissLimit int
+	// Members is the fixed peer set.
+	Members []ProcID
+}
+
+// Validate checks the configuration.
+func (c PlainConfig) Validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("%w: period %d must be positive", ErrConfig, c.Period)
+	}
+	if c.MissLimit < 1 {
+		return fmt.Errorf("%w: miss limit %d must be at least 1", ErrConfig, c.MissLimit)
+	}
+	if len(c.Members) == 0 {
+		return fmt.Errorf("%w: plain coordinator needs at least one member", ErrConfig)
+	}
+	seen := make(map[ProcID]bool, len(c.Members))
+	for _, id := range c.Members {
+		if id == CoordinatorID {
+			return fmt.Errorf("%w: member list contains the coordinator", ErrConfig)
+		}
+		if seen[id] {
+			return fmt.Errorf("%w: duplicate member %d", ErrConfig, id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// DetectionBound is the worst-case interval between a member's last beat
+// arriving at p[0] and p[0] suspecting it: the remainder of the current
+// round plus MissLimit further rounds.
+func (c PlainConfig) DetectionBound() Tick {
+	return Tick(c.MissLimit+1) * c.Period
+}
+
+// PlainCoordinator is p[0] of the baseline protocol.
+type PlainCoordinator struct {
+	cfg     PlainConfig
+	status  Status
+	rcvd    map[ProcID]bool
+	misses  map[ProcID]int
+	started bool
+}
+
+var _ Machine = (*PlainCoordinator)(nil)
+
+// NewPlainCoordinator builds the baseline p[0].
+func NewPlainCoordinator(cfg PlainConfig) (*PlainCoordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &PlainCoordinator{
+		cfg:    cfg,
+		status: StatusActive,
+		rcvd:   make(map[ProcID]bool, len(cfg.Members)),
+		misses: make(map[ProcID]int, len(cfg.Members)),
+	}
+	for _, id := range cfg.Members {
+		c.rcvd[id] = true // first round is a grace round, as in Coordinator
+	}
+	return c, nil
+}
+
+// Status implements Machine.
+func (c *PlainCoordinator) Status() Status { return c.status }
+
+// Start implements Machine.
+func (c *PlainCoordinator) Start(now Tick) []Action {
+	if c.started {
+		return nil
+	}
+	c.started = true
+	return []Action{SetTimer{ID: TimerRound, Delay: c.cfg.Period}}
+}
+
+// OnBeat implements Machine.
+func (c *PlainCoordinator) OnBeat(b Beat, now Tick) []Action {
+	if c.status != StatusActive {
+		return nil
+	}
+	if _, known := c.rcvd[b.From]; known {
+		c.rcvd[b.From] = true
+	}
+	return nil
+}
+
+// OnTimer implements Machine.
+func (c *PlainCoordinator) OnTimer(id TimerID, now Tick) []Action {
+	if c.status != StatusActive || id != TimerRound {
+		return nil
+	}
+	var suspects []ProcID
+	for _, pid := range c.cfg.Members {
+		if c.rcvd[pid] {
+			c.misses[pid] = 0
+		} else {
+			c.misses[pid]++
+			if c.misses[pid] >= c.cfg.MissLimit {
+				suspects = append(suspects, pid)
+			}
+		}
+		c.rcvd[pid] = false
+	}
+	if len(suspects) > 0 {
+		sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+		c.status = StatusInactive
+		actions := make([]Action, 0, len(suspects)+1)
+		for _, pid := range suspects {
+			actions = append(actions, Suspect{Proc: pid})
+		}
+		return append(actions, Inactivate{Voluntary: false})
+	}
+	actions := make([]Action, 0, len(c.cfg.Members)+1)
+	for _, pid := range c.cfg.Members {
+		actions = append(actions, SendBeat{To: pid, Beat: Beat{From: CoordinatorID, Stay: true}})
+	}
+	return append(actions, SetTimer{ID: TimerRound, Delay: c.cfg.Period})
+}
+
+// Crash implements Machine.
+func (c *PlainCoordinator) Crash(now Tick) []Action {
+	if c.status != StatusActive {
+		return nil
+	}
+	c.status = StatusCrashed
+	return []Action{CancelTimer{ID: TimerRound}, Inactivate{Voluntary: true}}
+}
+
+// PlainResponder answers beats and inactivates after Bound ticks without
+// one; it pairs with PlainCoordinator.
+type PlainResponder struct {
+	id      ProcID
+	bound   Tick
+	status  Status
+	started bool
+}
+
+var _ Machine = (*PlainResponder)(nil)
+
+// NewPlainResponder builds the baseline responder. A sound bound is
+// (MissLimit+1)·Period plus the one-way delay allowance.
+func NewPlainResponder(id ProcID, bound Tick) (*PlainResponder, error) {
+	if id == CoordinatorID {
+		return nil, fmt.Errorf("%w: responder cannot be process 0", ErrConfig)
+	}
+	if bound <= 0 {
+		return nil, fmt.Errorf("%w: bound %d must be positive", ErrConfig, bound)
+	}
+	return &PlainResponder{id: id, bound: bound, status: StatusActive}, nil
+}
+
+// Status implements Machine.
+func (r *PlainResponder) Status() Status { return r.status }
+
+// Start implements Machine.
+func (r *PlainResponder) Start(now Tick) []Action {
+	if r.started {
+		return nil
+	}
+	r.started = true
+	return []Action{SetTimer{ID: TimerExpiry, Delay: r.bound}}
+}
+
+// OnBeat implements Machine.
+func (r *PlainResponder) OnBeat(b Beat, now Tick) []Action {
+	if r.status != StatusActive || b.From != CoordinatorID {
+		return nil
+	}
+	return []Action{
+		SendBeat{To: CoordinatorID, Beat: Beat{From: r.id, Stay: true}},
+		SetTimer{ID: TimerExpiry, Delay: r.bound},
+	}
+}
+
+// OnTimer implements Machine.
+func (r *PlainResponder) OnTimer(id TimerID, now Tick) []Action {
+	if r.status != StatusActive || id != TimerExpiry {
+		return nil
+	}
+	r.status = StatusInactive
+	return []Action{Inactivate{Voluntary: false}}
+}
+
+// Crash implements Machine.
+func (r *PlainResponder) Crash(now Tick) []Action {
+	if r.status != StatusActive {
+		return nil
+	}
+	r.status = StatusCrashed
+	return []Action{CancelTimer{ID: TimerExpiry}, Inactivate{Voluntary: true}}
+}

@@ -1,0 +1,260 @@
+package core
+
+import "fmt"
+
+// Responder implements p[1] of the binary protocol and p[i] of the static
+// protocol: it answers every beat from p[0] immediately and inactivates
+// after ResponderBound ticks without one.
+type Responder struct {
+	cfg     Config
+	id      ProcID
+	status  Status
+	started bool
+}
+
+var _ Machine = (*Responder)(nil)
+
+// NewResponder builds a responder with the given process ID (must not be
+// the coordinator's).
+func NewResponder(cfg Config, id ProcID) (*Responder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id == CoordinatorID {
+		return nil, fmt.Errorf("%w: responder cannot be process 0", ErrConfig)
+	}
+	return &Responder{cfg: cfg, id: id, status: StatusActive}, nil
+}
+
+// ID returns the responder's process ID.
+func (r *Responder) ID() ProcID { return r.id }
+
+// Status implements Machine.
+func (r *Responder) Status() Status { return r.status }
+
+// Start implements Machine: arm the crash-suspicion watchdog.
+func (r *Responder) Start(now Tick) []Action {
+	if r.started {
+		return nil
+	}
+	r.started = true
+	return []Action{SetTimer{ID: TimerExpiry, Delay: r.cfg.ResponderBound()}}
+}
+
+// OnBeat implements Machine: reply right away and push out the watchdog.
+func (r *Responder) OnBeat(b Beat, now Tick) []Action {
+	if r.status != StatusActive || b.From != CoordinatorID {
+		return nil
+	}
+	return []Action{
+		SendBeat{To: CoordinatorID, Beat: Beat{From: r.id, Stay: true}},
+		SetTimer{ID: TimerExpiry, Delay: r.cfg.ResponderBound()},
+	}
+}
+
+// OnTimer implements Machine: the watchdog fired, so p[0] or the channel is
+// presumed down.
+func (r *Responder) OnTimer(id TimerID, now Tick) []Action {
+	if r.status != StatusActive || id != TimerExpiry {
+		return nil
+	}
+	r.status = StatusInactive
+	return []Action{Inactivate{Voluntary: false}}
+}
+
+// Crash implements Machine.
+func (r *Responder) Crash(now Tick) []Action {
+	if r.status != StatusActive {
+		return nil
+	}
+	r.status = StatusCrashed
+	return []Action{CancelTimer{ID: TimerExpiry}, Inactivate{Voluntary: true}}
+}
+
+// Participant implements p[i] of the expanding and dynamic protocols: it
+// solicits p[0] with a beat every tmin until acknowledged (joined), then
+// behaves like a Responder. With Dynamic set it can additionally Leave.
+type Participant struct {
+	cfg     Config
+	id      ProcID
+	dynamic bool
+	status  Status
+	joined  bool
+	leaving bool
+	started bool
+	inc     uint8
+}
+
+var _ Machine = (*Participant)(nil)
+
+// NewParticipant builds an expanding-protocol joiner; dynamic additionally
+// enables the leave half of the dynamic protocol.
+func NewParticipant(cfg Config, id ProcID, dynamic bool) (*Participant, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id == CoordinatorID {
+		return nil, fmt.Errorf("%w: participant cannot be process 0", ErrConfig)
+	}
+	return &Participant{cfg: cfg, id: id, dynamic: dynamic, status: StatusActive}, nil
+}
+
+// ID returns the participant's process ID.
+func (p *Participant) ID() ProcID { return p.id }
+
+// Status implements Machine.
+func (p *Participant) Status() Status { return p.status }
+
+// JoinedProtocol reports whether p[0] has acknowledged this participant.
+func (p *Participant) JoinedProtocol() bool { return p.joined }
+
+// Incarnation returns the participant's current incarnation number.
+func (p *Participant) Incarnation() uint8 { return p.inc }
+
+// beat returns this participant's heartbeat with the given Stay parameter.
+func (p *Participant) beat(stay bool) Beat {
+	return Beat{From: p.id, Stay: stay, Inc: p.inc}
+}
+
+// Start implements Machine: send the first join solicitation immediately
+// (the expanding protocol's initial state is urgent — a process cannot
+// abstain by idling) and arm both the resend and give-up timers.
+func (p *Participant) Start(now Tick) []Action {
+	if p.started {
+		return nil
+	}
+	p.started = true
+	return []Action{
+		SendBeat{To: CoordinatorID, Beat: p.beat(true)},
+		SetTimer{ID: TimerJoinResend, Delay: p.cfg.TMin},
+		SetTimer{ID: TimerExpiry, Delay: p.cfg.JoinerBound()},
+	}
+}
+
+// OnBeat implements Machine. The first beat from p[0] acknowledges the
+// join. A leaving participant answers any p[0] beat with a false beat, and
+// treats a false beat from p[0] as the leave acknowledgement.
+func (p *Participant) OnBeat(b Beat, now Tick) []Action {
+	if p.status != StatusActive || b.From != CoordinatorID {
+		return nil
+	}
+	if p.leaving {
+		if !b.Stay {
+			if b.Inc != p.inc {
+				return nil // ack for an earlier incarnation's leave
+			}
+			// Leave acknowledged.
+			p.status = StatusLeft
+			return []Action{
+				CancelTimer{ID: TimerJoinResend},
+				CancelTimer{ID: TimerExpiry},
+				Left{},
+			}
+		}
+		// p[0] has not processed the leave yet; repeat it.
+		return []Action{SendBeat{To: CoordinatorID, Beat: p.beat(false)}}
+	}
+	if !b.Stay {
+		return nil // stray leave-ack; we are not leaving
+	}
+	actions := []Action{
+		SendBeat{To: CoordinatorID, Beat: p.beat(true)},
+		SetTimer{ID: TimerExpiry, Delay: p.cfg.ResponderBound()},
+	}
+	if !p.joined {
+		p.joined = true
+		actions = append(actions,
+			CancelTimer{ID: TimerJoinResend},
+			Joined{},
+		)
+	}
+	return actions
+}
+
+// OnTimer implements Machine.
+func (p *Participant) OnTimer(id TimerID, now Tick) []Action {
+	if p.status != StatusActive {
+		return nil
+	}
+	switch id {
+	case TimerJoinResend:
+		if p.joined && !p.leaving {
+			return nil
+		}
+		// Re-solicit (join, or leave retry) every tmin.
+		return []Action{
+			SendBeat{To: CoordinatorID, Beat: p.beat(!p.leaving)},
+			SetTimer{ID: TimerJoinResend, Delay: p.cfg.TMin},
+		}
+	case TimerExpiry:
+		if p.leaving {
+			// A leaving process is never inactivated non-voluntarily;
+			// it keeps retrying the leave instead.
+			return nil
+		}
+		p.status = StatusInactive
+		return []Action{
+			CancelTimer{ID: TimerJoinResend},
+			Inactivate{Voluntary: false},
+		}
+	default:
+		return nil
+	}
+}
+
+// Leave starts a graceful departure (dynamic protocol only): the
+// participant beats p[0] with a false parameter, retrying every tmin, until
+// p[0] acknowledges in kind. From this point the participant can no longer
+// be non-voluntarily inactivated.
+func (p *Participant) Leave(now Tick) ([]Action, error) {
+	if !p.dynamic {
+		return nil, fmt.Errorf("%w: leave requires the dynamic protocol", ErrConfig)
+	}
+	if p.status != StatusActive || p.leaving {
+		return nil, nil
+	}
+	p.leaving = true
+	return []Action{
+		SendBeat{To: CoordinatorID, Beat: p.beat(false)},
+		SetTimer{ID: TimerJoinResend, Delay: p.cfg.TMin},
+		CancelTimer{ID: TimerExpiry},
+	}, nil
+}
+
+// Rejoin re-enters the protocol after a completed leave (the rejoin
+// extension; requires a coordinator built with AllowRejoin). The
+// participant bumps its incarnation and solicits afresh; beats from its
+// earlier incarnations are ignored by the coordinator.
+func (p *Participant) Rejoin(now Tick) ([]Action, error) {
+	if !p.dynamic {
+		return nil, fmt.Errorf("%w: rejoin requires the dynamic protocol", ErrConfig)
+	}
+	if p.status != StatusLeft {
+		return nil, fmt.Errorf("%w: rejoin requires a completed leave (status %v)", ErrConfig, p.status)
+	}
+	if p.inc == 0x7F {
+		return nil, fmt.Errorf("%w: incarnation space exhausted", ErrConfig)
+	}
+	p.inc++
+	p.status = StatusActive
+	p.joined = false
+	p.leaving = false
+	return []Action{
+		SendBeat{To: CoordinatorID, Beat: p.beat(true)},
+		SetTimer{ID: TimerJoinResend, Delay: p.cfg.TMin},
+		SetTimer{ID: TimerExpiry, Delay: p.cfg.JoinerBound()},
+	}, nil
+}
+
+// Crash implements Machine.
+func (p *Participant) Crash(now Tick) []Action {
+	if p.status != StatusActive {
+		return nil
+	}
+	p.status = StatusCrashed
+	return []Action{
+		CancelTimer{ID: TimerJoinResend},
+		CancelTimer{ID: TimerExpiry},
+		Inactivate{Voluntary: true},
+	}
+}

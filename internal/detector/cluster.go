@@ -1,0 +1,208 @@
+package detector
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Protocol names a heartbeat protocol variant for cluster assembly.
+type Protocol int
+
+// Protocol variants.
+const (
+	// ProtocolBinary is the two-process accelerated protocol (N is
+	// forced to 1).
+	ProtocolBinary Protocol = iota + 1
+	// ProtocolStatic is the fixed-membership N-process protocol.
+	ProtocolStatic
+	// ProtocolExpanding admits participants at run time.
+	ProtocolExpanding
+	// ProtocolDynamic additionally supports graceful leave.
+	ProtocolDynamic
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolBinary:
+		return "binary"
+	case ProtocolStatic:
+		return "static"
+	case ProtocolExpanding:
+		return "expanding"
+	case ProtocolDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ClusterConfig assembles a simulated cluster: one coordinator plus N
+// participants connected by a netem.Network.
+type ClusterConfig struct {
+	// Protocol selects the variant.
+	Protocol Protocol
+	// Core carries tmin/tmax and the variant/fix switches.
+	Core core.Config
+	// N is the number of participants (ignored for ProtocolBinary,
+	// which always has exactly one).
+	N int
+	// Link is the default unidirectional link shape. To honour the
+	// papers' round-trip bound, keep MaxDelay at or below tmin/2 per
+	// direction (zero-delay links are always safe).
+	Link netem.LinkConfig
+	// Seed drives the simulator's randomness (loss, delays).
+	Seed int64
+	// AllowRejoin enables the rejoin extension (ProtocolDynamic only).
+	AllowRejoin bool
+}
+
+// Cluster is a simulated deployment of one protocol instance.
+type Cluster struct {
+	// Sim is the virtual clock; run it to make progress.
+	Sim *sim.Simulator
+	// Net is the emulated network.
+	Net *netem.Network
+	// Coordinator is p[0].
+	Coordinator *Node
+	// Participants maps process IDs (1..N) to their nodes.
+	Participants map[core.ProcID]*Node
+	// Events records every liveness event in emission order.
+	Events []Event
+}
+
+// NewCluster builds and wires a cluster; Start must still be called.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Protocol == ProtocolBinary {
+		cfg.N = 1
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("%w: cluster needs at least one participant", ErrNodeConfig)
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New(sim.WithSeed(cfg.Seed))
+	net, err := netem.NewNetwork(s, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Sim:          s,
+		Net:          net,
+		Participants: make(map[core.ProcID]*Node, cfg.N),
+	}
+	clock := SimClock{Sim: s}
+	sink := EventFunc(func(e Event) { c.Events = append(c.Events, e) })
+
+	coordMachine, err := newCoordinatorMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Coordinator, err = NewNode(Config{
+		ID:              netem.NodeID(core.CoordinatorID),
+		Machine:         coordMachine,
+		Clock:           clock,
+		Transport:       net,
+		Events:          sink,
+		ReceivePriority: cfg.Core.Fixed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 1; i <= cfg.N; i++ {
+		pid := core.ProcID(i)
+		machine, err := newParticipantMachine(cfg, pid)
+		if err != nil {
+			return nil, err
+		}
+		node, err := NewNode(Config{
+			ID:              netem.NodeID(pid),
+			Machine:         machine,
+			Clock:           clock,
+			Transport:       net,
+			Events:          sink,
+			ReceivePriority: cfg.Core.Fixed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Participants[pid] = node
+	}
+	return c, nil
+}
+
+func newCoordinatorMachine(cfg ClusterConfig) (core.Machine, error) {
+	cc := core.CoordinatorConfig{Config: cfg.Core}
+	switch cfg.Protocol {
+	case ProtocolBinary, ProtocolStatic:
+		cc.Membership = core.MembershipFixed
+		for i := 1; i <= cfg.N; i++ {
+			cc.Members = append(cc.Members, core.ProcID(i))
+		}
+	case ProtocolExpanding:
+		cc.Membership = core.MembershipExpanding
+	case ProtocolDynamic:
+		cc.Membership = core.MembershipDynamic
+		cc.AllowRejoin = cfg.AllowRejoin
+	default:
+		return nil, fmt.Errorf("%w: unknown protocol %d", ErrNodeConfig, int(cfg.Protocol))
+	}
+	return core.NewCoordinator(cc)
+}
+
+func newParticipantMachine(cfg ClusterConfig, pid core.ProcID) (core.Machine, error) {
+	switch cfg.Protocol {
+	case ProtocolBinary, ProtocolStatic:
+		return core.NewResponder(cfg.Core, pid)
+	case ProtocolExpanding:
+		return core.NewParticipant(cfg.Core, pid, false)
+	case ProtocolDynamic:
+		return core.NewParticipant(cfg.Core, pid, true)
+	default:
+		return nil, fmt.Errorf("%w: unknown protocol %d", ErrNodeConfig, int(cfg.Protocol))
+	}
+}
+
+// Start starts every node: the coordinator first, then participants in
+// ascending ID order, all at virtual time 0.
+func (c *Cluster) Start() error {
+	if err := c.Coordinator.Start(); err != nil {
+		return err
+	}
+	for i := 1; i <= len(c.Participants); i++ {
+		if err := c.Participants[core.ProcID(i)].Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllInactiveBy reports whether every node has stopped participating
+// (crashed, inactivated, or left).
+func (c *Cluster) AllInactiveBy() bool {
+	if c.Coordinator.Status() == core.StatusActive {
+		return false
+	}
+	for _, n := range c.Participants {
+		if n.Status() == core.StatusActive {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstEvent returns the first recorded event matching kind on node, or
+// false if none.
+func (c *Cluster) FirstEvent(node netem.NodeID, kind EventKind) (Event, bool) {
+	for _, e := range c.Events {
+		if e.Node == node && e.Kind == kind {
+			return e, true
+		}
+	}
+	return Event{}, false
+}

@@ -1,0 +1,329 @@
+// Package detector runs the heartbeat protocol machines of internal/core
+// over a clock and a transport, turning them into a usable failure
+// detector — the downstream application both papers cite.
+//
+// A Node owns one protocol machine. It registers with a netem transport,
+// decodes incoming beats, drives the machine, and executes the machine's
+// actions: sending beats, (re)arming timers, and reporting liveness events
+// to an EventSink. Nodes work identically over the discrete-event simulator
+// (SimClock + netem.Network) and the wall clock (WallClock +
+// netem.RealNetwork).
+package detector
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Clock schedules callbacks in protocol ticks.
+type Clock interface {
+	// Now returns the current time in ticks.
+	Now() core.Tick
+	// After runs fn after d ticks and returns a cancel function.
+	// Cancelling after the callback ran is a no-op.
+	After(d core.Tick, fn func()) (cancel func())
+}
+
+// SimClock adapts a sim.Simulator to the Clock interface.
+type SimClock struct {
+	Sim *sim.Simulator
+}
+
+var _ Clock = SimClock{}
+
+// Now implements Clock.
+func (c SimClock) Now() core.Tick { return core.Tick(c.Sim.Now()) }
+
+// After implements Clock.
+func (c SimClock) After(d core.Tick, fn func()) (cancel func()) {
+	tm, err := c.Sim.Schedule(sim.Time(d), fn)
+	if err != nil {
+		// Machines only arm non-negative delays; a failure here is a
+		// programming error inside this package, and silently dropping
+		// the timer would hang the protocol.
+		panic(fmt.Sprintf("detector: scheduling timer: %v", err))
+	}
+	return func() { tm.Cancel() }
+}
+
+// WallClock implements Clock on the wall clock, mapping ticks to
+// TickLen-sized slices of real time.
+type WallClock struct {
+	// TickLen is the physical duration of one protocol tick.
+	TickLen time.Duration
+	// Epoch anchors tick 0; NewWallClock sets it to the creation time.
+	Epoch time.Time
+}
+
+// NewWallClock returns a wall clock whose tick 0 is now.
+func NewWallClock(tickLen time.Duration) WallClock {
+	return WallClock{TickLen: tickLen, Epoch: time.Now()}
+}
+
+var _ Clock = WallClock{}
+
+// Now implements Clock.
+func (c WallClock) Now() core.Tick {
+	return core.Tick(time.Since(c.Epoch) / c.TickLen)
+}
+
+// After implements Clock.
+func (c WallClock) After(d core.Tick, fn func()) (cancel func()) {
+	t := time.AfterFunc(time.Duration(d)*c.TickLen, fn)
+	return func() { t.Stop() }
+}
+
+// EventKind classifies liveness events reported by a Node.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventInactivated: the node stopped participating (see Voluntary).
+	EventInactivated EventKind = iota + 1
+	// EventSuspect: the coordinator's waiting time for Proc decayed below
+	// tmin.
+	EventSuspect
+	// EventJoined: an expanding/dynamic participant was acknowledged.
+	EventJoined
+	// EventLeft: a dynamic participant completed a graceful leave.
+	EventLeft
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventInactivated:
+		return "inactivated"
+	case EventSuspect:
+		return "suspect"
+	case EventJoined:
+		return "joined"
+	case EventLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a liveness notification.
+type Event struct {
+	Time core.Tick
+	Node netem.NodeID
+	Kind EventKind
+	// Proc is the suspected process for EventSuspect.
+	Proc core.ProcID
+	// Voluntary distinguishes a crash from a protocol decision for
+	// EventInactivated.
+	Voluntary bool
+}
+
+// EventSink receives events. Implementations must be safe for the
+// concurrency of the chosen clock: single-threaded under SimClock,
+// concurrent under WallClock.
+type EventSink interface {
+	HandleEvent(Event)
+}
+
+// EventFunc adapts a function to EventSink.
+type EventFunc func(Event)
+
+// HandleEvent implements EventSink.
+func (f EventFunc) HandleEvent(e Event) { f(e) }
+
+// Config assembles a Node.
+type Config struct {
+	// ID is the node's transport address; it must equal the machine's
+	// process ID convention (coordinator at 0).
+	ID netem.NodeID
+	// Machine is the protocol role to run.
+	Machine core.Machine
+	// Clock drives timers.
+	Clock Clock
+	// Transport carries beats. The node registers itself on creation.
+	Transport netem.Transport
+	// Events, if non-nil, receives liveness notifications.
+	Events EventSink
+	// ReceivePriority applies the §6.1 fix at the runtime level: a timer
+	// firing is deferred behind any same-instant deliveries already in
+	// flight, by re-queueing the timer callback once at zero delay. Set
+	// it when the machine's Config.Fixed is set.
+	ReceivePriority bool
+}
+
+// Node runs one protocol machine. All methods are safe for concurrent use.
+type Node struct {
+	mu      sync.Mutex
+	cfg     Config
+	timers  map[core.TimerID]func() // pending cancels
+	seq     map[core.TimerID]uint64 // generation guard against stale fires
+	started bool
+}
+
+// ErrNodeConfig reports an invalid node configuration.
+var ErrNodeConfig = errors.New("detector: invalid node config")
+
+// NewNode builds a node and registers it with the transport.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Machine == nil || cfg.Clock == nil || cfg.Transport == nil {
+		return nil, fmt.Errorf("%w: machine, clock and transport are required", ErrNodeConfig)
+	}
+	n := &Node{
+		cfg:    cfg,
+		timers: make(map[core.TimerID]func()),
+		seq:    make(map[core.TimerID]uint64),
+	}
+	if err := cfg.Transport.Register(cfg.ID, n.onMessage); err != nil {
+		return nil, fmt.Errorf("detector: registering node %d: %w", cfg.ID, err)
+	}
+	return n, nil
+}
+
+// ID returns the node's transport address.
+func (n *Node) ID() netem.NodeID { return n.cfg.ID }
+
+// Status reports the machine's liveness state.
+func (n *Node) Status() core.Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Machine.Status()
+}
+
+// Start delivers Start to the machine. It must be called exactly once.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return fmt.Errorf("%w: node %d already started", ErrNodeConfig, n.cfg.ID)
+	}
+	n.started = true
+	n.apply(n.cfg.Machine.Start(n.cfg.Clock.Now()))
+	return nil
+}
+
+// Crash injects a voluntary inactivation.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.apply(n.cfg.Machine.Crash(n.cfg.Clock.Now()))
+}
+
+// Leave starts a graceful departure; the machine must be a dynamic
+// core.Participant.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.cfg.Machine.(*core.Participant)
+	if !ok {
+		return fmt.Errorf("%w: node %d machine cannot leave", ErrNodeConfig, n.cfg.ID)
+	}
+	actions, err := p.Leave(n.cfg.Clock.Now())
+	if err != nil {
+		return err
+	}
+	n.apply(actions)
+	return nil
+}
+
+// Rejoin re-enters the protocol after a completed leave; the machine must
+// be a dynamic core.Participant and the coordinator must allow rejoin.
+func (n *Node) Rejoin() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.cfg.Machine.(*core.Participant)
+	if !ok {
+		return fmt.Errorf("%w: node %d machine cannot rejoin", ErrNodeConfig, n.cfg.ID)
+	}
+	actions, err := p.Rejoin(n.cfg.Clock.Now())
+	if err != nil {
+		return err
+	}
+	n.apply(actions)
+	return nil
+}
+
+// onMessage is the transport delivery handler.
+func (n *Node) onMessage(msg netem.Message) {
+	beat, err := core.UnmarshalBeat(msg.Payload)
+	if err != nil {
+		return // garbage on the wire is dropped, like a lost message
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.apply(n.cfg.Machine.OnBeat(beat, n.cfg.Clock.Now()))
+}
+
+// onTimer is the timer callback for generation gen of timer id.
+func (n *Node) onTimer(id core.TimerID, gen uint64) {
+	n.mu.Lock()
+	if n.seq[id] != gen {
+		n.mu.Unlock()
+		return // superseded by a later SetTimer
+	}
+	if n.cfg.ReceivePriority {
+		// §6.1: let same-instant deliveries already queued run first by
+		// taking one zero-delay hop through the scheduler.
+		n.seq[id]++
+		gen := n.seq[id]
+		n.timers[id] = n.cfg.Clock.After(0, func() { n.fireTimer(id, gen) })
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	n.fireTimer(id, gen)
+}
+
+func (n *Node) fireTimer(id core.TimerID, gen uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.seq[id] != gen {
+		return
+	}
+	delete(n.timers, id)
+	n.apply(n.cfg.Machine.OnTimer(id, n.cfg.Clock.Now()))
+}
+
+// apply executes the machine's actions. Callers hold n.mu.
+func (n *Node) apply(actions []core.Action) {
+	now := n.cfg.Clock.Now()
+	for _, a := range actions {
+		switch act := a.(type) {
+		case core.SendBeat:
+			// Ignore send errors: an unknown recipient behaves like a
+			// lossy link, which the protocol already tolerates.
+			_ = n.cfg.Transport.Send(n.cfg.ID, netem.NodeID(act.To), act.Beat.Marshal())
+		case core.SetTimer:
+			if cancel, ok := n.timers[act.ID]; ok {
+				cancel()
+			}
+			n.seq[act.ID]++
+			gen := n.seq[act.ID]
+			n.timers[act.ID] = n.cfg.Clock.After(act.Delay, func() { n.onTimer(act.ID, gen) })
+		case core.CancelTimer:
+			if cancel, ok := n.timers[act.ID]; ok {
+				cancel()
+				delete(n.timers, act.ID)
+			}
+			n.seq[act.ID]++
+		case core.Inactivate:
+			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventInactivated, Voluntary: act.Voluntary})
+		case core.Suspect:
+			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventSuspect, Proc: act.Proc})
+		case core.Joined:
+			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventJoined})
+		case core.Left:
+			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventLeft})
+		}
+	}
+}
+
+func (n *Node) emit(e Event) {
+	if n.cfg.Events != nil {
+		n.cfg.Events.HandleEvent(e)
+	}
+}

@@ -1,0 +1,63 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// raceCluster engineers the §6.1 race at the runtime level: with
+// tmin = tmax and a delivery delay consuming the whole round-trip budget,
+// p[1]'s watchdog expiry and the beat delivery land on the same tick, with
+// the watchdog's timer event queued first (it was scheduled much earlier).
+func raceCluster(t *testing.T, fixed bool) *Cluster {
+	t.Helper()
+	cfg := ClusterConfig{
+		Protocol: ProtocolBinary,
+		Core:     core.Config{TMin: 10, TMax: 10, Fixed: fixed},
+		Seed:     2,
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	// Asymmetric link honouring the tmin round-trip budget: the forward
+	// leg consumes all of it (beat sent at k·tmax arrives at (k+1)·tmax,
+	// exactly when p[1]'s watchdog of 2·tmax can fire), replies are
+	// instant.
+	if err := c.Net.SetLink(0, 1, netem.LinkConfig{MinDelay: 10, MaxDelay: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return c
+}
+
+// TestRuntimeReceivePrioritySavesResponder: with the §6 fix the same-tick
+// delivery is processed before the watchdog and the cluster survives.
+func TestRuntimeReceivePrioritySavesResponder(t *testing.T) {
+	c := raceCluster(t, true)
+	c.Sim.RunUntil(sim.Time(400))
+	if c.Participants[1].Status() != core.StatusActive {
+		t.Fatalf("p[1] = %v with receive priority, want active (events %v)",
+			c.Participants[1].Status(), c.Events)
+	}
+	if c.Coordinator.Status() != core.StatusActive {
+		t.Fatalf("p[0] = %v with receive priority, want active", c.Coordinator.Status())
+	}
+}
+
+// TestRuntimeWithoutPriorityLosesRace: without the fix the earlier-queued
+// watchdog timer fires first and p[1] falsely inactivates — the runtime
+// rendition of Figure 11.
+func TestRuntimeWithoutPriorityLosesRace(t *testing.T) {
+	c := raceCluster(t, false)
+	c.Sim.RunUntil(sim.Time(400))
+	if c.Participants[1].Status() != core.StatusInactive {
+		t.Fatalf("p[1] = %v without receive priority, want the Figure 11 false inactivation",
+			c.Participants[1].Status())
+	}
+}

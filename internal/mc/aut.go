@@ -1,0 +1,91 @@
+package mc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrBadAUT reports a malformed Aldebaran file.
+var ErrBadAUT = errors.New("mc: malformed .aut")
+
+// ReadAUT parses an LTS in Aldebaran (.aut) format, the inverse of
+// WriteAUT, enabling round-trips through CADP tooling. CADP's internal
+// action "i" is mapped back to Tau.
+func ReadAUT(r io.Reader) (*LTS, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: empty input", ErrBadAUT)
+	}
+	header := strings.TrimSpace(sc.Text())
+	var initial, ntrans, nstates int
+	if _, err := fmt.Sscanf(header, "des (%d, %d, %d)", &initial, &ntrans, &nstates); err != nil {
+		return nil, fmt.Errorf("%w: header %q", ErrBadAUT, header)
+	}
+	if nstates < 1 || initial < 0 || initial >= nstates || ntrans < 0 {
+		return nil, fmt.Errorf("%w: inconsistent header %q", ErrBadAUT, header)
+	}
+	l := &LTS{NumStates: nstates, Initial: initial}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		t, err := parseAUTTransition(line)
+		if err != nil {
+			return nil, err
+		}
+		if t.From < 0 || t.From >= nstates || t.To < 0 || t.To >= nstates {
+			return nil, fmt.Errorf("%w: state out of range in %q", ErrBadAUT, line)
+		}
+		l.Transitions = append(l.Transitions, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(l.Transitions) != ntrans {
+		return nil, fmt.Errorf("%w: header claims %d transitions, found %d", ErrBadAUT, ntrans, len(l.Transitions))
+	}
+	return l, nil
+}
+
+// parseAUTTransition parses `(from, "label", to)`, tolerating unquoted
+// labels as some tools emit them.
+func parseAUTTransition(line string) (Trans, error) {
+	if !strings.HasPrefix(line, "(") || !strings.HasSuffix(line, ")") {
+		return Trans{}, fmt.Errorf("%w: transition %q", ErrBadAUT, line)
+	}
+	body := line[1 : len(line)-1]
+	firstComma := strings.Index(body, ",")
+	lastComma := strings.LastIndex(body, ",")
+	if firstComma < 0 || lastComma <= firstComma {
+		return Trans{}, fmt.Errorf("%w: transition %q", ErrBadAUT, line)
+	}
+	from, err := strconv.Atoi(strings.TrimSpace(body[:firstComma]))
+	if err != nil {
+		return Trans{}, fmt.Errorf("%w: source in %q", ErrBadAUT, line)
+	}
+	to, err := strconv.Atoi(strings.TrimSpace(body[lastComma+1:]))
+	if err != nil {
+		return Trans{}, fmt.Errorf("%w: target in %q", ErrBadAUT, line)
+	}
+	label := strings.TrimSpace(body[firstComma+1 : lastComma])
+	if strings.HasPrefix(label, `"`) && strings.HasSuffix(label, `"`) && len(label) >= 2 {
+		unquoted, err := strconv.Unquote(label)
+		if err != nil {
+			return Trans{}, fmt.Errorf("%w: label in %q", ErrBadAUT, line)
+		}
+		label = unquoted
+	}
+	if label == "i" {
+		label = Tau
+	}
+	return Trans{From: from, Label: label, To: to}, nil
+}

@@ -1,0 +1,110 @@
+package mc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestAUTRoundTrip(t *testing.T) {
+	l := &LTS{
+		NumStates: 3,
+		Initial:   0,
+		Transitions: []Trans{
+			{0, "a b", 1},
+			{1, Tau, 2},
+			{2, `quote"inside`, 0},
+		},
+	}
+	var buf bytes.Buffer
+	if err := l.WriteAUT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAUT(&buf)
+	if err != nil {
+		t.Fatalf("ReadAUT: %v", err)
+	}
+	if got.NumStates != l.NumStates || got.Initial != l.Initial {
+		t.Fatalf("shape = %d/%d", got.NumStates, got.Initial)
+	}
+	for i, tr := range l.Transitions {
+		if got.Transitions[i] != tr {
+			t.Fatalf("transition %d = %+v, want %+v", i, got.Transitions[i], tr)
+		}
+	}
+}
+
+// TestPropertyAUTRoundTrip: random LTSs survive write→read unchanged.
+func TestPropertyAUTRoundTrip(t *testing.T) {
+	labels := []string{"a", "beat p[0]", Tau, "x y z", "deliver"}
+	f := func(seed int64, nRaw, tRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%10) + 1
+		l := &LTS{NumStates: n, Initial: rng.Intn(n)}
+		for i := 0; i < int(tRaw%40); i++ {
+			l.Transitions = append(l.Transitions, Trans{
+				From:  rng.Intn(n),
+				Label: labels[rng.Intn(len(labels))],
+				To:    rng.Intn(n),
+			})
+		}
+		var buf bytes.Buffer
+		if err := l.WriteAUT(&buf); err != nil {
+			return false
+		}
+		got, err := ReadAUT(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumStates != l.NumStates || got.Initial != l.Initial ||
+			len(got.Transitions) != len(l.Transitions) {
+			return false
+		}
+		for i, tr := range l.Transitions {
+			if got.Transitions[i] != tr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAUTRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not a header",
+		"des (0, 1, 2)\nnonsense",
+		"des (5, 0, 2)",                // initial out of range
+		"des (0, 2, 2)\n(0, \"a\", 1)", // transition count mismatch
+		"des (0, 1, 2)\n(0, \"a\", 7)", // target out of range
+		"des (0, 1, 2)\n(x, \"a\", 1)", // bad source
+		"des (0, 1, 2)\n(0, \"a\", y)", // bad target
+		"des (0, 1, 2)\n0, \"a\", 1",   // missing parens
+	}
+	for _, in := range bad {
+		if _, err := ReadAUT(strings.NewReader(in)); !errors.Is(err, ErrBadAUT) {
+			t.Errorf("input %q: err = %v, want ErrBadAUT", in, err)
+		}
+	}
+}
+
+func TestReadAUTUnquotedLabelsAndTau(t *testing.T) {
+	in := "des (0, 2, 2)\n(0, step, 1)\n(1, i, 0)\n"
+	l, err := ReadAUT(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Transitions[0].Label != "step" {
+		t.Fatalf("label = %q", l.Transitions[0].Label)
+	}
+	if l.Transitions[1].Label != Tau {
+		t.Fatalf("i not mapped to tau: %q", l.Transitions[1].Label)
+	}
+}

@@ -1,0 +1,271 @@
+package mc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ta"
+)
+
+// Tau is the label of hidden (internal) transitions in an LTS.
+const Tau = "tau"
+
+// Trans is one labelled transition of an LTS.
+type Trans struct {
+	From  int
+	Label string
+	To    int
+}
+
+// LTS is an explicit labelled transition system.
+type LTS struct {
+	NumStates   int
+	Initial     int
+	Transitions []Trans
+}
+
+// BuildLTS generates the full reachable transition system of a network.
+func BuildLTS(n *ta.Network, opts Options) (*LTS, error) {
+	limit := opts.maxStates()
+	init := n.Initial()
+	states := []ta.State{init}
+	index := map[string]int{init.Key(): 0}
+	l := &LTS{NumStates: 1}
+
+	var buf []ta.Transition
+	for head := 0; head < len(states); head++ {
+		s := states[head]
+		buf = n.Successors(&s, buf[:0])
+		for _, tr := range buf {
+			key := tr.Target.Key()
+			id, seen := index[key]
+			if !seen {
+				id = len(states)
+				if id >= limit {
+					return nil, fmt.Errorf("%w: %d states", ErrStateLimit, limit)
+				}
+				index[key] = id
+				states = append(states, tr.Target)
+				l.NumStates++
+			}
+			l.Transitions = append(l.Transitions, Trans{From: head, Label: tr.Label, To: id})
+		}
+	}
+	return l, nil
+}
+
+// Hide renames every transition whose label satisfies hidden to Tau.
+func (l *LTS) Hide(hidden func(string) bool) *LTS {
+	out := &LTS{NumStates: l.NumStates, Initial: l.Initial}
+	out.Transitions = make([]Trans, len(l.Transitions))
+	for i, t := range l.Transitions {
+		if hidden(t.Label) {
+			t.Label = Tau
+		}
+		out.Transitions[i] = t
+	}
+	return out
+}
+
+// Labels returns the sorted set of labels.
+func (l *LTS) Labels() []string {
+	set := map[string]bool{}
+	for _, t := range l.Transitions {
+		set[t.Label] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MinimizeStrong returns the quotient of the LTS under strong
+// bisimulation, via signature-based partition refinement.
+func (l *LTS) MinimizeStrong() *LTS {
+	// succ[s] = transitions out of s.
+	succ := make([][]Trans, l.NumStates)
+	for _, t := range l.Transitions {
+		succ[t.From] = append(succ[t.From], t)
+	}
+	block := make([]int, l.NumStates) // all in block 0 initially
+	numBlocks := 1
+	for {
+		sigs := make(map[string]int)
+		next := make([]int, l.NumStates)
+		for s := 0; s < l.NumStates; s++ {
+			var parts []string
+			seen := map[string]bool{}
+			for _, t := range succ[s] {
+				p := fmt.Sprintf("%s\x00%d", t.Label, block[t.To])
+				if !seen[p] {
+					seen[p] = true
+					parts = append(parts, p)
+				}
+			}
+			sort.Strings(parts)
+			sig := fmt.Sprintf("%d\x01%s", block[s], strings.Join(parts, "\x01"))
+			id, ok := sigs[sig]
+			if !ok {
+				id = len(sigs)
+				sigs[sig] = id
+			}
+			next[s] = id
+		}
+		if len(sigs) == numBlocks {
+			block = next
+			break
+		}
+		numBlocks = len(sigs)
+		block = next
+	}
+	return l.quotient(block, numBlocks)
+}
+
+// quotient collapses states by block assignment.
+func (l *LTS) quotient(block []int, numBlocks int) *LTS {
+	out := &LTS{NumStates: numBlocks, Initial: block[l.Initial]}
+	seen := map[Trans]bool{}
+	for _, t := range l.Transitions {
+		q := Trans{From: block[t.From], Label: t.Label, To: block[t.To]}
+		if !seen[q] {
+			seen[q] = true
+			out.Transitions = append(out.Transitions, q)
+		}
+	}
+	sort.Slice(out.Transitions, func(i, j int) bool {
+		a, b := out.Transitions[i], out.Transitions[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.To < b.To
+	})
+	return out
+}
+
+// WeakTraceReduce determinises the LTS modulo weak-trace equivalence:
+// tau-transitions are eliminated by closure, visible transitions are
+// determinised by subset construction, and the result is minimised. The
+// result accepts exactly the same weak traces (sequences of visible
+// labels). Subset construction can blow up exponentially, so the same
+// state limit applies.
+func (l *LTS) WeakTraceReduce(opts Options) (*LTS, error) {
+	limit := opts.maxStates()
+	succ := make([][]Trans, l.NumStates)
+	for _, t := range l.Transitions {
+		succ[t.From] = append(succ[t.From], t)
+	}
+
+	closure := func(set map[int]bool) map[int]bool {
+		stack := make([]int, 0, len(set))
+		for s := range set {
+			stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range succ[s] {
+				if t.Label == Tau && !set[t.To] {
+					set[t.To] = true
+					stack = append(stack, t.To)
+				}
+			}
+		}
+		return set
+	}
+	keyOf := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for s := range set {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		var sb strings.Builder
+		for _, id := range ids {
+			fmt.Fprintf(&sb, "%d,", id)
+		}
+		return sb.String()
+	}
+
+	initSet := closure(map[int]bool{l.Initial: true})
+	sets := []map[int]bool{initSet}
+	index := map[string]int{keyOf(initSet): 0}
+	out := &LTS{NumStates: 1}
+
+	for head := 0; head < len(sets); head++ {
+		cur := sets[head]
+		// Group visible successors by label.
+		byLabel := map[string]map[int]bool{}
+		for s := range cur {
+			for _, t := range succ[s] {
+				if t.Label == Tau {
+					continue
+				}
+				if byLabel[t.Label] == nil {
+					byLabel[t.Label] = map[int]bool{}
+				}
+				byLabel[t.Label][t.To] = true
+			}
+		}
+		labels := make([]string, 0, len(byLabel))
+		for lab := range byLabel {
+			labels = append(labels, lab)
+		}
+		sort.Strings(labels)
+		for _, lab := range labels {
+			target := closure(byLabel[lab])
+			key := keyOf(target)
+			id, seen := index[key]
+			if !seen {
+				id = len(sets)
+				if id >= limit {
+					return nil, fmt.Errorf("%w: %d subset states", ErrStateLimit, limit)
+				}
+				index[key] = id
+				sets = append(sets, target)
+				out.NumStates++
+			}
+			out.Transitions = append(out.Transitions, Trans{From: head, Label: lab, To: id})
+		}
+	}
+	return out.MinimizeStrong(), nil
+}
+
+// WriteAUT emits the LTS in Aldebaran (.aut) format, as consumed by CADP.
+func (l *LTS) WriteAUT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "des (%d, %d, %d)\n", l.Initial, len(l.Transitions), l.NumStates); err != nil {
+		return err
+	}
+	for _, t := range l.Transitions {
+		label := t.Label
+		if label == Tau {
+			label = "i" // CADP's internal action
+		}
+		if _, err := fmt.Fprintf(w, "(%d, %q, %d)\n", t.From, label, t.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDOT emits the LTS in Graphviz format.
+func (l *LTS) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  s%d [shape=doublecircle];\n", l.Initial); err != nil {
+		return err
+	}
+	for _, t := range l.Transitions {
+		if _, err := fmt.Fprintf(w, "  s%d -> s%d [label=%q];\n", t.From, t.To, t.Label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

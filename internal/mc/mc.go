@@ -1,0 +1,163 @@
+// Package mc is an explicit-state model checker for the discrete-time
+// timed-automata networks of internal/ta.
+//
+// It offers reachability checking with counter-example reconstruction
+// (breadth-first, so witnesses are minimal in transition count), full
+// state-space generation into a labelled transition system, strong
+// bisimulation minimisation, and weak-trace reduction — the operations the
+// accelerated-heartbeat analysis uses in place of UPPAAL and CADP.
+package mc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ta"
+)
+
+// ErrStateLimit reports that exploration hit Options.MaxStates before
+// exhausting the state space; verification verdicts are inconclusive.
+var ErrStateLimit = errors.New("mc: state limit exceeded")
+
+// Options tunes exploration.
+type Options struct {
+	// MaxStates bounds exploration; 0 means DefaultMaxStates.
+	MaxStates int
+	// Prune, if non-nil, stops exploration below states satisfying it
+	// (the pruned state itself is recorded but not expanded). Pruning is
+	// sound for a reachability goal only if no goal state is reachable
+	// through a pruned state — e.g. pruning on a monotone flag the goal
+	// negates.
+	Prune func(*ta.State) bool
+}
+
+// DefaultMaxStates bounds exploration when Options.MaxStates is zero.
+const DefaultMaxStates = 5_000_000
+
+func (o Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return DefaultMaxStates
+	}
+	return o.MaxStates
+}
+
+// Step is one transition of a witness trace.
+type Step struct {
+	// Label is the action name ("tick" for delays).
+	Label string
+	// Delay marks delay steps.
+	Delay bool
+	// Time is the cumulative virtual time after this step.
+	Time int
+	// State is the configuration reached by this step.
+	State ta.State
+}
+
+// Result is the outcome of a reachability check.
+type Result struct {
+	// Reachable reports whether a goal state was found.
+	Reachable bool
+	// StatesExplored counts distinct configurations visited.
+	StatesExplored int
+	// TransitionsExplored counts transitions generated.
+	TransitionsExplored int
+	// Trace is a minimal-length witness when Reachable: Trace[0] is the
+	// initial configuration (empty label), the last step satisfies the
+	// goal.
+	Trace []Step
+}
+
+// CheckReachability explores the network breadth-first from its initial
+// configuration and reports whether any configuration satisfying goal is
+// reachable, together with a shortest witness.
+func CheckReachability(n *ta.Network, goal func(*ta.State) bool, opts Options) (Result, error) {
+	limit := opts.maxStates()
+	init := n.Initial()
+
+	states := []ta.State{init}
+	info := []nodeInfo{{parent: -1}}
+	index := map[string]int{init.Key(): 0}
+
+	res := Result{StatesExplored: 1}
+	if goal(&init) {
+		res.Reachable = true
+		res.Trace = []Step{{State: init.Clone()}}
+		return res, nil
+	}
+
+	var buf []ta.Transition
+	for head := 0; head < len(states); head++ {
+		s := states[head]
+		if opts.Prune != nil && opts.Prune(&s) {
+			continue
+		}
+		buf = n.Successors(&s, buf[:0])
+		res.TransitionsExplored += len(buf)
+		for _, tr := range buf {
+			key := tr.Target.Key()
+			if _, seen := index[key]; seen {
+				continue
+			}
+			id := len(states)
+			if id >= limit {
+				return res, fmt.Errorf("%w: %d states", ErrStateLimit, limit)
+			}
+			index[key] = id
+			states = append(states, tr.Target)
+			info = append(info, nodeInfo{parent: head, label: tr.Label, delay: tr.Delay})
+			res.StatesExplored++
+			if goal(&tr.Target) {
+				res.Reachable = true
+				res.Trace = rebuildTrace(states, info, id)
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// nodeInfo records how a state was first reached, for witness
+// reconstruction.
+type nodeInfo struct {
+	parent int
+	label  string
+	delay  bool
+}
+
+// rebuildTrace walks parent pointers back to the root and emits the
+// forward trace with cumulative times.
+func rebuildTrace(states []ta.State, info []nodeInfo, goal int) []Step {
+	var rev []int
+	for at := goal; at != -1; at = info[at].parent {
+		rev = append(rev, at)
+	}
+	steps := make([]Step, 0, len(rev))
+	now := 0
+	for i := len(rev) - 1; i >= 0; i-- {
+		id := rev[i]
+		if info[id].delay {
+			now++
+		}
+		steps = append(steps, Step{
+			Label: info[id].label,
+			Delay: info[id].delay,
+			Time:  now,
+			State: states[id].Clone(),
+		})
+	}
+	return steps
+}
+
+// Invariant explores the full state space and reports the first violation
+// of pred (a safety check: pred must hold in every reachable state). It is
+// CheckReachability with the goal negated, packaged for readability.
+func Invariant(n *ta.Network, pred func(*ta.State) bool, opts Options) (Result, error) {
+	return CheckReachability(n, func(s *ta.State) bool { return !pred(s) }, opts)
+}
+
+// CountStates exhaustively generates the reachable state space and returns
+// its size; useful for regression-pinning model sizes.
+func CountStates(n *ta.Network, opts Options) (states, transitions int, err error) {
+	res, err := CheckReachability(n, func(*ta.State) bool { return false }, opts)
+	return res.StatesExplored, res.TransitionsExplored, err
+}

@@ -1,0 +1,292 @@
+package mc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ta"
+)
+
+// counterNet builds a single automaton that counts to n with internal
+// steps, then reaches "End".
+func counterNet(n int32) (*ta.Network, int) {
+	net := ta.NewNetwork()
+	v := net.Var("count", 0)
+	net.Add(&ta.Automaton{
+		Name:      "counter",
+		Locations: []ta.Location{{Name: "Run"}, {Name: "End"}},
+		Edges: []ta.Edge{
+			{
+				From: 0, To: 0, Label: "inc",
+				Guard:  func(s *ta.State) bool { return s.Vars[v] < n },
+				Update: func(s *ta.State) { s.Vars[v]++ },
+			},
+			{
+				From: 0, To: 1, Label: "done",
+				Guard: func(s *ta.State) bool { return s.Vars[v] == n },
+			},
+		},
+	})
+	return net, v
+}
+
+func TestReachabilityFindsGoal(t *testing.T) {
+	net, v := counterNet(5)
+	res, err := CheckReachability(net, func(s *ta.State) bool { return s.Locs[0] == 1 }, Options{})
+	if err != nil {
+		t.Fatalf("CheckReachability: %v", err)
+	}
+	if !res.Reachable {
+		t.Fatal("goal not reached")
+	}
+	// Shortest witness: 5 inc steps + done (plus initial pseudo-step).
+	if len(res.Trace) != 7 {
+		t.Fatalf("trace length = %d, want 7", len(res.Trace))
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.Label != "done" || last.State.Vars[v] != 5 {
+		t.Fatalf("last step = %+v", last)
+	}
+	if res.Trace[0].Label != "" {
+		t.Fatal("trace must start with the initial pseudo-step")
+	}
+}
+
+func TestReachabilityUnreachable(t *testing.T) {
+	net, v := counterNet(5)
+	res, err := CheckReachability(net, func(s *ta.State) bool { return s.Vars[v] > 5 }, Options{})
+	if err != nil {
+		t.Fatalf("CheckReachability: %v", err)
+	}
+	if res.Reachable {
+		t.Fatal("unreachable goal reported reachable")
+	}
+	if res.StatesExplored < 7 {
+		t.Fatalf("explored %d states, want at least 7", res.StatesExplored)
+	}
+}
+
+func TestReachabilityGoalAtInitial(t *testing.T) {
+	net, _ := counterNet(3)
+	res, err := CheckReachability(net, func(s *ta.State) bool { return true }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || len(res.Trace) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestStateLimit(t *testing.T) {
+	net, _ := counterNet(1000)
+	_, err := CheckReachability(net, func(s *ta.State) bool { return false }, Options{MaxStates: 10})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("err = %v, want ErrStateLimit", err)
+	}
+}
+
+func TestTraceTimesCountTicks(t *testing.T) {
+	// An automaton that must wait 3 ticks, then fires.
+	net := ta.NewNetwork()
+	c := net.Clock("x", 4)
+	net.Add(&ta.Automaton{
+		Name: "w",
+		Locations: []ta.Location{
+			{Name: "Wait", Invariant: func(s *ta.State) bool { return s.Clocks[c] <= 3 }},
+			{Name: "Done"},
+		},
+		Edges: []ta.Edge{{
+			From: 0, To: 1, Label: "fire",
+			Guard: func(s *ta.State) bool { return s.Clocks[c] == 3 },
+		}},
+	})
+	res, err := CheckReachability(net, func(s *ta.State) bool { return s.Locs[0] == 1 }, Options{})
+	if err != nil || !res.Reachable {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.Time != 3 {
+		t.Fatalf("goal at time %d, want 3", last.Time)
+	}
+}
+
+func TestInvariantHelper(t *testing.T) {
+	net, v := counterNet(4)
+	res, err := Invariant(net, func(s *ta.State) bool { return s.Vars[v] <= 2 }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("invariant violation not found")
+	}
+	if got := res.Trace[len(res.Trace)-1].State.Vars[v]; got != 3 {
+		t.Fatalf("first violation at count=%d, want 3", got)
+	}
+}
+
+func TestCountStates(t *testing.T) {
+	net, _ := counterNet(5)
+	states, trans, err := CountStates(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count 0..5 in Run + End = 7 states.
+	if states != 7 {
+		t.Fatalf("states = %d, want 7", states)
+	}
+	if trans < 6 {
+		t.Fatalf("transitions = %d, want at least 6", trans)
+	}
+}
+
+func TestBuildLTSAndExport(t *testing.T) {
+	net, _ := counterNet(2)
+	l, err := BuildLTS(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStates != 4 { // counts 0,1,2 in Run + End
+		t.Fatalf("states = %d, want 4", l.NumStates)
+	}
+	var aut bytes.Buffer
+	if err := l.WriteAUT(&aut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(aut.String(), "des (0, ") {
+		t.Fatalf("aut header = %q", aut.String()[:20])
+	}
+	var dot bytes.Buffer
+	if err := l.WriteDOT(&dot, "counter"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") || !strings.Contains(dot.String(), "inc") {
+		t.Fatal("dot output incomplete")
+	}
+}
+
+// diamond builds an LTS with two bisimilar branches that strong
+// minimisation must merge.
+func diamond() *LTS {
+	return &LTS{
+		NumStates: 4,
+		Initial:   0,
+		Transitions: []Trans{
+			{0, "a", 1},
+			{0, "a", 2},
+			{1, "b", 3},
+			{2, "b", 3},
+		},
+	}
+}
+
+func TestMinimizeStrongMergesBisimilar(t *testing.T) {
+	m := diamond().MinimizeStrong()
+	if m.NumStates != 3 {
+		t.Fatalf("minimised to %d states, want 3", m.NumStates)
+	}
+	if len(m.Transitions) != 2 {
+		t.Fatalf("minimised to %d transitions, want 2: %v", len(m.Transitions), m.Transitions)
+	}
+}
+
+func TestMinimizeStrongKeepsDistinct(t *testing.T) {
+	l := &LTS{
+		NumStates: 3,
+		Initial:   0,
+		Transitions: []Trans{
+			{0, "a", 1},
+			{1, "b", 2},
+		},
+	}
+	m := l.MinimizeStrong()
+	if m.NumStates != 3 {
+		t.Fatalf("collapsed distinct states: %d", m.NumStates)
+	}
+}
+
+func TestHide(t *testing.T) {
+	l := diamond().Hide(func(label string) bool { return label == "a" })
+	for _, tr := range l.Transitions {
+		if tr.Label == "a" {
+			t.Fatal("label a survived hiding")
+		}
+	}
+	if got := l.Labels(); len(got) != 2 || got[0] != "b" || got[1] != Tau {
+		t.Fatalf("labels = %v", got)
+	}
+}
+
+func TestWeakTraceReduce(t *testing.T) {
+	// tau.a | a  — both branches weak-trace equivalent to a single "a".
+	l := &LTS{
+		NumStates: 4,
+		Initial:   0,
+		Transitions: []Trans{
+			{0, Tau, 1},
+			{1, "a", 2},
+			{0, "a", 3},
+		},
+	}
+	r, err := l.WeakTraceReduce(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumStates != 2 || len(r.Transitions) != 1 || r.Transitions[0].Label != "a" {
+		t.Fatalf("reduced = %+v", r)
+	}
+}
+
+func TestWeakTraceReducePreservesOrder(t *testing.T) {
+	// a.b must not become b.a.
+	l := &LTS{
+		NumStates: 3,
+		Initial:   0,
+		Transitions: []Trans{
+			{0, "a", 1},
+			{1, "b", 2},
+		},
+	}
+	r, err := l.WeakTraceReduce(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Transitions) != 2 {
+		t.Fatalf("transitions = %v", r.Transitions)
+	}
+	var first, second string
+	for _, tr := range r.Transitions {
+		if tr.From == r.Initial {
+			first = tr.Label
+		} else {
+			second = tr.Label
+		}
+	}
+	if first != "a" || second != "b" {
+		t.Fatalf("order broken: %v", r.Transitions)
+	}
+}
+
+func TestWeakTraceReduceLoop(t *testing.T) {
+	// A tau self-loop plus visible action: reduction terminates and keeps
+	// the visible behaviour.
+	l := &LTS{
+		NumStates: 2,
+		Initial:   0,
+		Transitions: []Trans{
+			{0, Tau, 0},
+			{0, "a", 1},
+			{1, "a", 1},
+		},
+	}
+	r, err := l.WeakTraceReduce(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both subset states have weak-trace set a*, so they collapse into a
+	// single state with an a self-loop.
+	if r.NumStates != 1 || len(r.Transitions) != 1 || r.Transitions[0] != (Trans{0, "a", 0}) {
+		t.Fatalf("reduced = %+v", r)
+	}
+}

@@ -1,0 +1,182 @@
+package models
+
+import (
+	"repro/internal/ta"
+)
+
+// buildChannel constructs the pair channel between p[0] and p[i+1]
+// (Figure 5 of the analysis, reconstructed input-enabled — see the
+// package comment). One clock carries the shared round-trip budget: it is
+// reset when p[0]'s beat enters the channel and keeps running through the
+// reply leg, so the forward delay plus the reply delay never exceeds tmin,
+// exactly the papers' "tmin is an upper bound on the round-trip delay".
+func (m *Model) buildChannel(i int) {
+	cfg := m.Cfg
+	net := m.Net
+	tmin := cfg.TMin
+	rt := net.Clock("rt_"+pname(i), tmin+1)
+	jnd := m.vJnd[i]
+	active := m.vActive[i]
+	lost := m.vLost
+	dynamic := cfg.Variant == Dynamic
+
+	var c chanRefs
+	c.rt = rt
+	a := &ta.Automaton{Name: "Ch" + pname(i)}
+	c.idle = addLoc(a, ta.Location{Name: "Idle"})
+	c.fly = addLoc(a, ta.Location{
+		Name:      "Fwd",
+		Invariant: func(s *ta.State) bool { return s.Clocks[rt] <= tmin },
+	})
+	// Await is transient within an instant: p[i] either replies from its
+	// committed Rcvd location or, being inactive, never will.
+	c.await = addLoc(a, ta.Location{Name: "Await", Kind: ta.Urgent})
+	c.replyTrue = addLoc(a, ta.Location{
+		Name:      "Reply",
+		Invariant: func(s *ta.State) bool { return s.Clocks[rt] <= tmin },
+	})
+	c.replyFalse = -1
+	if dynamic {
+		c.replyFalse = addLoc(a, ta.Location{
+			Name:      "ReplyFalse",
+			Invariant: func(s *ta.State) bool { return s.Clocks[rt] <= tmin },
+		})
+	}
+	a.Init = c.idle
+
+	// Accept p[0]'s broadcast for joined members; the budget starts now.
+	a.Edges = append(a.Edges, ta.Edge{
+		From: c.idle, To: c.fly,
+		Chan:   m.chBcast,
+		Guard:  func(s *ta.State) bool { return s.Vars[jnd] == 1 },
+		Update: func(s *ta.State) { s.Clocks[rt] = 0 },
+	})
+	// Forward leg: deliver to p[i] (keeping the budget running), or lose.
+	a.Edges = append(a.Edges,
+		ta.Edge{
+			From: c.fly, To: c.await,
+			Chan: m.chDlv[i], Send: true,
+			Label: "deliver beat to " + pname(i),
+			Class: ta.ClassDeliver,
+		},
+		ta.Edge{
+			From: c.fly, To: c.idle,
+			Label:  "lose beat to " + pname(i),
+			Update: func(s *ta.State) { s.Vars[lost] = 1 },
+		},
+	)
+	// The reply, if any, arrives in the same instant as the delivery.
+	a.Edges = append(a.Edges,
+		ta.Edge{From: c.await, To: c.replyTrue, Chan: m.chReply[i]},
+		ta.Edge{
+			From: c.await, To: c.idle,
+			Guard: func(s *ta.State) bool { return s.Vars[active] == 0 },
+			Label: pname(i) + " gives no reply",
+		},
+	)
+	if dynamic {
+		a.Edges = append(a.Edges, ta.Edge{
+			From: c.await, To: c.replyFalse, Chan: m.chReplyFalse[i],
+		})
+	}
+	// Reply leg: deliver to p[0] within the remaining budget, or lose.
+	a.Edges = append(a.Edges,
+		ta.Edge{
+			From: c.replyTrue, To: c.idle,
+			Chan: m.chDlvTrue[i], Send: true,
+			Label: "deliver beat to p[0] from " + pname(i),
+			Class: ta.ClassDeliver,
+		},
+		ta.Edge{
+			From: c.replyTrue, To: c.idle,
+			Label:  "lose beat from " + pname(i),
+			Update: func(s *ta.State) { s.Vars[lost] = 1 },
+		},
+	)
+	if dynamic {
+		a.Edges = append(a.Edges,
+			ta.Edge{
+				From: c.replyFalse, To: c.idle,
+				Chan: m.chDlvFalse[i], Send: true,
+				Label: "deliver leave beat to p[0] from " + pname(i),
+				Class: ta.ClassDeliver,
+			},
+			ta.Edge{
+				From: c.replyFalse, To: c.idle,
+				Label:  "lose leave beat from " + pname(i),
+				Update: func(s *ta.State) { s.Vars[lost] = 1 },
+			},
+		)
+	}
+	// Input-enabledness: a beat arriving while the channel is busy is
+	// dropped and recorded as a loss (see the package comment for why
+	// this is sound for R1–R3).
+	for _, loc := range []int{c.fly, c.await, c.replyTrue} {
+		a.Edges = append(a.Edges, ta.Edge{
+			From: loc, To: loc,
+			Chan:   m.chBcast,
+			Guard:  func(s *ta.State) bool { return s.Vars[jnd] == 1 },
+			Update: func(s *ta.State) { s.Vars[lost] = 1 },
+		})
+	}
+	if dynamic {
+		a.Edges = append(a.Edges, ta.Edge{
+			From: c.replyFalse, To: c.replyFalse,
+			Chan:   m.chBcast,
+			Guard:  func(s *ta.State) bool { return s.Vars[jnd] == 1 },
+			Update: func(s *ta.State) { s.Vars[lost] = 1 },
+		})
+	}
+
+	c.aut = len(net.Automata())
+	net.Add(a)
+	m.chs = append(m.chs, c)
+}
+
+// buildJoinChannel carries p[i+1]'s solicitations to p[0]. Its delay is
+// bounded by tmax, not tmin: the papers' round-trip budget applies to
+// exchanges initiated by p[0], and the analysis' Figure 13 counter-example
+// depends on a solicitation arriving a full round after it was sent
+// ("received at p[0] right after the first time-out"). The channel holds
+// one solicitation at a time; the joiner suppresses re-solicitation while
+// one is outstanding (solicitations are idempotent), so overlap never
+// counts as message loss.
+func (m *Model) buildJoinChannel(i int) {
+	cfg := m.Cfg
+	net := m.Net
+	bound := cfg.TMax
+	rt := net.Clock("rtj_"+pname(i), bound+1)
+	lost := m.vLost
+
+	var c joinChanRefs
+	c.rt = rt
+	a := &ta.Automaton{Name: "JoinCh" + pname(i)}
+	c.idle = addLoc(a, ta.Location{Name: "Idle"})
+	c.fly = addLoc(a, ta.Location{
+		Name:      "Fwd",
+		Invariant: func(s *ta.State) bool { return s.Clocks[rt] <= bound },
+	})
+	a.Init = c.idle
+
+	a.Edges = append(a.Edges,
+		ta.Edge{
+			From: c.idle, To: c.fly,
+			Chan:   m.chJoin[i],
+			Update: func(s *ta.State) { s.Clocks[rt] = 0 },
+		},
+		ta.Edge{
+			From: c.fly, To: c.idle,
+			Chan: m.chDlvTrue[i], Send: true,
+			Label: "deliver join beat to p[0] from " + pname(i),
+			Class: ta.ClassDeliver,
+		},
+		ta.Edge{
+			From: c.fly, To: c.idle,
+			Label:  "lose join beat from " + pname(i),
+			Update: func(s *ta.State) { s.Vars[lost] = 1 },
+		},
+	)
+	c.aut = len(net.Automata())
+	net.Add(a)
+	m.jchs = append(m.jchs, c)
+}

@@ -1,0 +1,81 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/mc"
+)
+
+// Figure identifies one counter-example figure of the analysis and the
+// configuration that reproduces it.
+type Figure struct {
+	// ID is the figure number in the analysis ("10a", "10b", "11", "12",
+	// "13").
+	ID string
+	// Title describes the scenario.
+	Title string
+	// Cfg is the model configuration exhibiting the counter-example.
+	Cfg Config
+	// Prop is the violated requirement.
+	Prop Property
+}
+
+// Figures returns the counter-example catalogue of §5.5, with the paper's
+// parameters (tmax = 10).
+func Figures() []Figure {
+	return []Figure{
+		{
+			ID:    "10a",
+			Title: "R1 counter-example, 2·tmin < tmax: a stale reply restores t=tmax and detection stretches past 2·tmax (binary, tmin=1)",
+			Cfg:   Config{TMin: 1, TMax: 10, Variant: Binary, N: 1},
+			Prop:  R1,
+		},
+		{
+			ID:    "10b",
+			Title: "R1 counter-example, 2·tmin <= tmax: even the plain decay overshoots 2·tmax (binary, tmin=5)",
+			Cfg:   Config{TMin: 5, TMax: 10, Variant: Binary, N: 1},
+			Prop:  R1,
+		},
+		{
+			ID:    "11",
+			Title: "R2 counter-example, tmin = tmax: beat and watchdog expire simultaneously at p[1]; the timeout wins (binary, tmin=10)",
+			Cfg:   Config{TMin: 10, TMax: 10, Variant: Binary, N: 1},
+			Prop:  R2,
+		},
+		{
+			ID:    "12",
+			Title: "R3 counter-example, tmin = tmax: reply and round timeout arrive simultaneously at p[0]; the timeout wins (binary, tmin=10)",
+			Cfg:   Config{TMin: 10, TMax: 10, Variant: Binary, N: 1},
+			Prop:  R3,
+		},
+		{
+			ID:    "13",
+			Title: "R2 counter-example, 2·tmin >= tmax: a join request lands just after p[0]'s timeout and the acknowledgement takes 2·tmax + tmin (expanding, tmin=5)",
+			Cfg:   Config{TMin: 5, TMax: 10, Variant: Expanding, N: 1},
+			Prop:  R2,
+		},
+	}
+}
+
+// FindFigure locates a figure by ID.
+func FindFigure(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("%w: unknown figure %q", ErrConfig, id)
+}
+
+// Reproduce model-checks the figure's property and returns the
+// counter-example trace. It fails if the property unexpectedly holds.
+func (f Figure) Reproduce(opts mc.Options) (Verdict, error) {
+	v, err := Verify(f.Cfg, f.Prop, opts)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if v.Satisfied {
+		return v, fmt.Errorf("figure %s: %v unexpectedly satisfied on %v", f.ID, f.Prop, f.Cfg.Variant)
+	}
+	return v, nil
+}

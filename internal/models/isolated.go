@@ -1,0 +1,136 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/ta"
+)
+
+// BuildIsolatedP0 builds p[0] of the binary protocol composed with a
+// chaotic environment that consumes its beats and may deliver a beat from
+// p[1] at any time — the closed-system rendering of the open process
+// semantics used for Figure 1 of the analysis (p[0]'s own transition
+// system). Labels match the figure: tick, receive/send beats, timeout,
+// voluntary and non-voluntary inactivation.
+func BuildIsolatedP0(tmin, tmax int32) (*ta.Network, error) {
+	if tmin <= 0 || tmax < tmin {
+		return nil, fmt.Errorf("%w: need 0 < tmin <= tmax", ErrConfig)
+	}
+	net := ta.NewNetwork()
+	waiting := net.Clock("waiting", tmax+1)
+	t := net.Var("t", tmax)
+	rcvd := net.Var("rcvd", 1)
+
+	p0 := &ta.Automaton{Name: "P0"}
+	alive := addLoc(p0, ta.Location{
+		Name:      "Alive",
+		Invariant: func(s *ta.State) bool { return s.Clocks[waiting] <= s.Vars[t] },
+	})
+	timeout := addLoc(p0, ta.Location{Name: "TimeOut", Kind: ta.Committed})
+	vInact := addLoc(p0, ta.Location{Name: "VInact"})
+	nvInact := addLoc(p0, ta.Location{Name: "NVInact"})
+	p0.Init = alive
+
+	rcv := net.Chan("rcv_hb1", false)
+	snd := net.Chan("snd_hb0", false)
+
+	p0.Edges = append(p0.Edges,
+		ta.Edge{From: alive, To: vInact, Label: "inactivate v p0"},
+		ta.Edge{
+			From: alive, To: alive, Chan: rcv,
+			Update: func(s *ta.State) { s.Vars[rcvd] = 1 },
+		},
+		ta.Edge{From: vInact, To: vInact, Chan: rcv},
+		ta.Edge{From: nvInact, To: nvInact, Chan: rcv},
+		ta.Edge{
+			From: alive, To: timeout,
+			Guard: func(s *ta.State) bool { return s.Clocks[waiting] == s.Vars[t] },
+			Label: "timeout at P0",
+		},
+		ta.Edge{
+			From: timeout, To: alive,
+			Guard: func(s *ta.State) bool {
+				return s.Vars[rcvd] == 1 || s.Vars[t]/2 >= tmin
+			},
+			Chan: snd, Send: true,
+			Label: "for p1(hb0)",
+			Update: func(s *ta.State) {
+				if s.Vars[rcvd] == 1 {
+					s.Vars[t] = tmax
+				} else {
+					s.Vars[t] = s.Vars[t] / 2
+				}
+				s.Vars[rcvd] = 0
+				s.Clocks[waiting] = 0
+			},
+		},
+		ta.Edge{
+			From: timeout, To: nvInact,
+			Guard: func(s *ta.State) bool {
+				return s.Vars[rcvd] == 0 && s.Vars[t]/2 < tmin
+			},
+			Label: "inactivate nv p0",
+		},
+	)
+	net.Add(p0)
+	addChaoticPeer(net, rcv, snd, "from p1(hb1)")
+	return net, nil
+}
+
+// BuildIsolatedP1 builds p[1] of the binary protocol against a chaotic
+// environment, for Figure 2 of the analysis.
+func BuildIsolatedP1(tmin, tmax int32) (*ta.Network, error) {
+	if tmin <= 0 || tmax < tmin {
+		return nil, fmt.Errorf("%w: need 0 < tmin <= tmax", ErrConfig)
+	}
+	net := ta.NewNetwork()
+	bound := 3*tmax - tmin
+	wfb := net.Clock("waitingforbeat", bound+1)
+
+	p1 := &ta.Automaton{Name: "P1"}
+	alive := addLoc(p1, ta.Location{
+		Name:      "Alive",
+		Invariant: func(s *ta.State) bool { return s.Clocks[wfb] <= bound },
+	})
+	rcvd := addLoc(p1, ta.Location{Name: "Rcvd", Kind: ta.Committed})
+	vInact := addLoc(p1, ta.Location{Name: "VInact"})
+	nvInact := addLoc(p1, ta.Location{Name: "NVInact"})
+	p1.Init = alive
+
+	rcv := net.Chan("rcv_hb0", false)
+	snd := net.Chan("snd_hb1", false)
+
+	p1.Edges = append(p1.Edges,
+		ta.Edge{From: alive, To: vInact, Label: "inactivate v p1"},
+		ta.Edge{From: alive, To: rcvd, Chan: rcv},
+		ta.Edge{
+			From: rcvd, To: alive, Chan: snd, Send: true,
+			Label:  "for p0(hb1)",
+			Update: func(s *ta.State) { s.Clocks[wfb] = 0 },
+		},
+		ta.Edge{
+			From: alive, To: nvInact,
+			Guard: func(s *ta.State) bool { return s.Clocks[wfb] == bound },
+			Label: "inactivate nv p1",
+		},
+		ta.Edge{From: vInact, To: vInact, Chan: rcv},
+		ta.Edge{From: nvInact, To: nvInact, Chan: rcv},
+	)
+	net.Add(p1)
+	addChaoticPeer(net, rcv, snd, "from p0(hb0)")
+	return net, nil
+}
+
+// addChaoticPeer adds an environment automaton that may send on rcv at any
+// time and always accepts snd — the most general context, so the composed
+// system's behaviour is exactly the process's own.
+func addChaoticPeer(net *ta.Network, rcv, snd ta.ChanID, rcvLabel string) {
+	env := &ta.Automaton{Name: "Env"}
+	idle := addLoc(env, ta.Location{Name: "Chaos"})
+	env.Init = idle
+	env.Edges = append(env.Edges,
+		ta.Edge{From: idle, To: idle, Chan: rcv, Send: true, Label: rcvLabel},
+		ta.Edge{From: idle, To: idle, Chan: snd},
+	)
+	net.Add(env)
+}

@@ -1,0 +1,70 @@
+package models
+
+import (
+	"repro/internal/ta"
+)
+
+// buildMonitor constructs the R1 watchdog for participant i (Figure 9):
+// it observes every beat from p[i] delivered at p[0] and raises Error when
+// p[0] stays active for more than the claimed detection bound without one.
+// For the expanding/dynamic protocols the monitor arms on the first
+// delivery (p[0] cannot be obliged to react to a process it has never
+// heard from) and disarms when p[i]'s leave is delivered.
+func (m *Model) buildMonitor(i int) {
+	cfg := m.Cfg
+	net := m.Net
+	bound := cfg.r1Bound()
+	delay := net.Clock("r1delay_"+pname(i), bound+2)
+	active0 := m.vActive0
+
+	var mo monRefs
+	mo.delay = delay
+	a := &ta.Automaton{Name: "MonR1" + pname(i)}
+	idle := -1
+	if cfg.joinPhase() {
+		idle = addLoc(a, ta.Location{Name: "Idle"})
+	}
+	mo.watch = addLoc(a, ta.Location{Name: "Watch"})
+	mo.errLoc = addLoc(a, ta.Location{Name: "Error"})
+	mo.off = addLoc(a, ta.Location{Name: "Off"})
+	if idle >= 0 {
+		a.Init = idle
+		a.Edges = append(a.Edges, ta.Edge{
+			From: idle, To: mo.watch,
+			Chan:   m.chDlvTrue[i],
+			Update: func(s *ta.State) { s.Clocks[delay] = 0 },
+		})
+		if cfg.Variant == Dynamic {
+			a.Edges = append(a.Edges, ta.Edge{
+				From: idle, To: mo.off, Chan: m.chDlvFalse[i],
+			})
+		}
+	} else {
+		a.Init = mo.watch
+	}
+	a.Edges = append(a.Edges,
+		// Every delivered beat from p[i] resets the watchdog.
+		ta.Edge{
+			From: mo.watch, To: mo.watch,
+			Chan:   m.chDlvTrue[i],
+			Update: func(s *ta.State) { s.Clocks[delay] = 0 },
+		},
+		// R1 violation: the bound elapsed and p[0] is still active.
+		ta.Edge{
+			From: mo.watch, To: mo.errLoc,
+			Guard: func(s *ta.State) bool {
+				return s.Clocks[delay] > bound && s.Vars[active0] == 1
+			},
+			Label: "error R1 " + pname(i),
+		},
+	)
+	if cfg.Variant == Dynamic {
+		// A delivered leave ends p[0]'s obligation for p[i].
+		a.Edges = append(a.Edges, ta.Edge{
+			From: mo.watch, To: mo.off, Chan: m.chDlvFalse[i],
+		})
+	}
+	mo.aut = len(net.Automata())
+	net.Add(a)
+	m.mons = append(m.mons, mo)
+}

@@ -1,0 +1,36 @@
+package models
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mc"
+)
+
+// TestExpandingTwoJoinersR2 checks that the Figure 13 joiner violation is
+// still found with two concurrent joiners — the configuration the
+// analysis' dynamic formulas are written for (p[0] plus p[1], p[2]).
+// Exhaustively verifying the SATISFIED cells at N=2 (and any dynamic N=2
+// cell) exceeds a laptop-scale exploration budget; those cells rest on
+// the N=1 results plus participant symmetry.
+func TestExpandingTwoJoinersR2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-joiner exploration is heavy; skipped in -short")
+	}
+	// Dynamic with two joiners exceeds a laptop-scale exploration budget
+	// (the leave machinery multiplies the interleavings); the expanding
+	// protocol exhibits the same joiner race.
+	for _, variant := range []Variant{Expanding} {
+		cfg := Config{TMin: 5, TMax: 10, Variant: variant, N: 2}
+		v, err := Verify(cfg, R2, mc.Options{MaxStates: 12_000_000})
+		if errors.Is(err, mc.ErrStateLimit) {
+			t.Skipf("%v: state space exceeds the exploration budget", variant)
+		}
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		if v.Satisfied {
+			t.Errorf("%v N=2 tmin=5: R2 unexpectedly satisfied", variant)
+		}
+	}
+}

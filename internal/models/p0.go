@@ -1,0 +1,148 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/ta"
+)
+
+// buildP0 constructs the coordinator automaton (Figures 3 and 7 of the
+// analysis). Its round bookkeeping (per-participant rcvd flags and waiting
+// times, the min rule, the halving/two-phase acceleration) lives in shared
+// variables so the timeout decision can be expressed as guarded edges from
+// the committed Time_Out location.
+func (m *Model) buildP0() {
+	cfg := m.Cfg
+	net := m.Net
+
+	m.p0.waiting = net.Clock("waiting0", cfg.TMax+1)
+	m.p0.t = net.Var("t0", cfg.TMax)
+
+	waiting := m.p0.waiting
+	tVar := m.p0.t
+
+	a := &ta.Automaton{Name: "P0"}
+	m.p0.init = addLoc(a, ta.Location{Name: "Init", Kind: ta.Committed})
+	m.p0.alive = addLoc(a, ta.Location{
+		Name: "Alive",
+		Invariant: func(s *ta.State) bool {
+			return s.Clocks[waiting] <= s.Vars[tVar]
+		},
+	})
+	m.p0.timeout = addLoc(a, ta.Location{Name: "TimeOut", Kind: ta.Committed})
+	m.p0.vInact = addLoc(a, ta.Location{Name: "VInact"})
+	m.p0.nvInact = addLoc(a, ta.Location{Name: "NVInact"})
+	a.Init = m.p0.init
+
+	// Start-up: the revised protocol beats immediately; the original
+	// simply enters the first round.
+	if cfg.Variant == RevisedBinary {
+		a.Edges = append(a.Edges, ta.Edge{
+			From: m.p0.init, To: m.p0.alive,
+			Chan: m.chBcast, Send: true,
+			Label: "p[0]: send beat",
+		})
+	} else {
+		a.Edges = append(a.Edges, ta.Edge{
+			From: m.p0.init, To: m.p0.alive,
+			Label: "p[0]: start",
+		})
+	}
+
+	// Voluntary inactivation, any time while alive.
+	active0 := m.vActive0
+	a.Edges = append(a.Edges, ta.Edge{
+		From: m.p0.alive, To: m.p0.vInact,
+		Label:  "crash p[0]",
+		Update: func(s *ta.State) { s.Vars[active0] = 0 },
+	})
+
+	// Round timeout: forced by the invariant at waiting == t.
+	a.Edges = append(a.Edges, ta.Edge{
+		From: m.p0.alive, To: m.p0.timeout,
+		Guard: func(s *ta.State) bool { return s.Clocks[waiting] == s.Vars[tVar] },
+		Label: "timeout p[0]",
+		Class: ta.ClassTimeout,
+	})
+
+	// Decision: inactivate when some joined participant's waiting time
+	// decayed below tmin, otherwise commit the new round and broadcast.
+	a.Edges = append(a.Edges, ta.Edge{
+		From: m.p0.timeout, To: m.p0.nvInact,
+		Guard: func(s *ta.State) bool {
+			_, ok := m.timeoutOutcome(s)
+			return !ok
+		},
+		Label:  "inactivate nv p[0]",
+		Update: func(s *ta.State) { s.Vars[active0] = 0 },
+	})
+	a.Edges = append(a.Edges, ta.Edge{
+		From: m.p0.timeout, To: m.p0.alive,
+		Guard: func(s *ta.State) bool {
+			_, ok := m.timeoutOutcome(s)
+			return ok
+		},
+		Chan: m.chBcast, Send: true,
+		Label:  "p[0]: send beat",
+		Update: func(s *ta.State) { m.applyTimeout(s) },
+	})
+
+	m.p0.aut = len(net.Automata())
+	net.Add(a)
+}
+
+// wireP0Edges adds p[0]'s receive edges; deferred until all channels
+// exist.
+func (m *Model) wireP0Edges() {
+	a := m.Net.Automata()[m.p0.aut]
+	for i := 0; i < m.Cfg.N; i++ {
+		i := i
+		rcvd, jnd, ever := m.vRcvd[i], m.vJnd[i], m.vEver[i]
+		// A true beat from p[i]: mark received (and joined, for the
+		// expanding/dynamic protocols).
+		a.Edges = append(a.Edges, ta.Edge{
+			From: m.p0.alive, To: m.p0.alive,
+			Chan: m.chDlvTrue[i],
+			Update: func(s *ta.State) {
+				s.Vars[rcvd] = 1
+				s.Vars[ever] = 1
+				if s.Vars[jnd] == 0 {
+					// A new member starts with a grace round.
+					s.Vars[jnd] = 1
+					s.Vars[m.vTM[i]] = m.Cfg.TMax
+				}
+			},
+		})
+		// Inactivated processes still receive, without reacting.
+		for _, loc := range []int{m.p0.vInact, m.p0.nvInact} {
+			a.Edges = append(a.Edges, ta.Edge{
+				From: loc, To: loc, Chan: m.chDlvTrue[i],
+			})
+		}
+		if m.Cfg.Variant == Dynamic {
+			// A false beat is a leave: forget the member.
+			a.Edges = append(a.Edges, ta.Edge{
+				From: m.p0.alive, To: m.p0.alive,
+				Chan: m.chDlvFalse[i],
+				Update: func(s *ta.State) {
+					s.Vars[jnd] = 0
+					s.Vars[rcvd] = 0
+				},
+			})
+			for _, loc := range []int{m.p0.vInact, m.p0.nvInact} {
+				a.Edges = append(a.Edges, ta.Edge{
+					From: loc, To: loc, Chan: m.chDlvFalse[i],
+				})
+			}
+		}
+	}
+}
+
+// addLoc appends a location and returns its index.
+func addLoc(a *ta.Automaton, l ta.Location) int {
+	a.Locations = append(a.Locations, l)
+	return len(a.Locations) - 1
+}
+
+// pname renders the conventional process name p[i+1].
+func pname(i int) string { return fmt.Sprintf("p[%d]", i+1) }

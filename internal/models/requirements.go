@@ -1,0 +1,151 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/mc"
+	"repro/internal/ta"
+)
+
+// Property names the requirements of §5 of the analysis.
+type Property int
+
+// The three requirements.
+const (
+	// R1: if p[0] receives no beat from p[i] for the claimed detection
+	// bound, p[0] inactivates.
+	R1 Property = iota + 1
+	// R2: no participant is non-voluntarily inactivated while p[0] is
+	// alive, no message was lost, and every other participant is alive
+	// (or never joined, or left).
+	R2
+	// R3: p[0] is not non-voluntarily inactivated while no message was
+	// lost and every joined participant is alive (or left).
+	R3
+)
+
+// String implements fmt.Stringer.
+func (p Property) String() string {
+	switch p {
+	case R1:
+		return "R1"
+	case R2:
+		return "R2"
+	case R3:
+		return "R3"
+	default:
+		return fmt.Sprintf("Property(%d)", int(p))
+	}
+}
+
+// R1Violated reports whether any R1 monitor reached its Error location.
+func (m *Model) R1Violated(s *ta.State) bool {
+	for _, mo := range m.mons {
+		if int(s.Locs[mo.aut]) == mo.errLoc {
+			return true
+		}
+	}
+	return false
+}
+
+// participantOK reports whether participant i cannot legitimately be
+// blamed for a network-wide inactivation: it is currently alive, or p[0]
+// does not (or no longer) count on it — which covers completed leaves,
+// whose false beat clears jnd at p[0]. A process that crashes mid-leave is
+// NOT excused: a crash is a crash, and network-wide inactivation is then
+// the intended outcome.
+func (m *Model) participantOK(s *ta.State, i int) bool {
+	return s.Vars[m.vActive[i]] == 1 || s.Vars[m.vJnd[i]] == 0
+}
+
+// R2Violated: some participant is non-voluntarily inactivated although no
+// message was lost, p[0] is still active, and every other participant is
+// alive or excused.
+func (m *Model) R2Violated(s *ta.State) bool {
+	if s.Vars[m.vLost] == 1 || s.Vars[m.vActive0] != 1 {
+		return false
+	}
+	for i, p := range m.ps {
+		if int(s.Locs[p.aut]) != p.nvInact {
+			continue
+		}
+		ok := true
+		for j := range m.ps {
+			if j != i && !m.participantOK(s, j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// R3Violated: p[0] is non-voluntarily inactivated although no message was
+// lost and every participant is alive or excused.
+func (m *Model) R3Violated(s *ta.State) bool {
+	if s.Vars[m.vLost] == 1 || int(s.Locs[m.p0.aut]) != m.p0.nvInact {
+		return false
+	}
+	for i := range m.ps {
+		if !m.participantOK(s, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation returns the predicate for a property.
+func (m *Model) Violation(p Property) (func(*ta.State) bool, error) {
+	switch p {
+	case R1:
+		return m.R1Violated, nil
+	case R2:
+		return m.R2Violated, nil
+	case R3:
+		return m.R3Violated, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown property %d", ErrConfig, int(p))
+	}
+}
+
+// Verdict is the outcome of checking one property on one configuration.
+type Verdict struct {
+	Cfg      Config
+	Property Property
+	// Satisfied is true when no violating state is reachable.
+	Satisfied bool
+	// Result carries exploration statistics and, when the property fails,
+	// a minimal counter-example trace.
+	Result mc.Result
+}
+
+// Verify model-checks one property. R2 and R3 exclude lossy traces by
+// premise, so exploration is pruned at the first message loss (sound: the
+// lostMsg flag is monotone and both predicates require it clear).
+func Verify(cfg Config, prop Property, opts mc.Options) (Verdict, error) {
+	m, err := Build(cfg)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return m.Verify(prop, opts)
+}
+
+// Verify model-checks one property on an already-built model.
+func (m *Model) Verify(prop Property, opts mc.Options) (Verdict, error) {
+	pred, err := m.Violation(prop)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if prop == R2 || prop == R3 {
+		lost := m.vLost
+		opts.Prune = func(s *ta.State) bool { return s.Vars[lost] == 1 }
+	}
+	res, err := mc.CheckReachability(m.Net, pred, opts)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("checking %v on %v: %w", prop, m.Cfg.Variant, err)
+	}
+	return Verdict{Cfg: m.Cfg, Property: prop, Satisfied: !res.Reachable, Result: res}, nil
+}

@@ -1,0 +1,186 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/mc"
+	"repro/internal/ta"
+)
+
+// The shutdown monitor checks the 1998 paper's headline goal (§1 of the
+// analysis): "if one or more processes ever choose to become inactive,
+// then all processes in the network eventually become inactive" — made
+// checkable as a bounded-inevitability property: within ShutdownBound
+// ticks of the first voluntary inactivation, no process is still active
+// (gracefully departed dynamic participants are exempt; leaving is not a
+// fault).
+
+// ShutdownBound returns a sound bound for the timely-shutdown property.
+// Worst chain: a beat from the crashed member may still be in flight
+// (up to tmin on a reply channel, up to tmax for a solicitation), the
+// coordinator's detection runs from that last receipt, its final beats
+// take up to tmin to land, and the surviving participants' watchdogs
+// expire a responder bound later. A crashed coordinator needs only the
+// last two terms, so the sum covers both directions.
+func (c Config) ShutdownBound() int32 {
+	inflight := c.TMin
+	if c.joinPhase() {
+		inflight = c.TMax // solicitations are bounded by tmax, not tmin
+	}
+	return inflight + c.CoordinatorDetectionBoundInt() + c.TMin + c.responderBound()
+}
+
+// CoordinatorDetectionBoundInt mirrors core.Config.
+// CoordinatorDetectionBound for the model's constants.
+func (c Config) CoordinatorDetectionBoundInt() int32 {
+	if c.Variant == TwoPhase {
+		if c.TMax == c.TMin {
+			return 2 * c.TMax
+		}
+		return 2*c.TMax + c.TMin
+	}
+	if 2*c.TMin > c.TMax {
+		return 2 * c.TMax
+	}
+	return 3*c.TMax - c.TMin
+}
+
+// ShutdownModel wraps a Model with the shutdown monitor attached.
+type ShutdownModel struct {
+	*Model
+	monAut   int
+	errLoc   int
+	vCrashed int
+}
+
+// BuildWithShutdownMonitor builds the protocol model plus a monitor that
+// errors when, bound ticks after the first voluntary inactivation, some
+// process is still active (and, for dynamic, has not left).
+func BuildWithShutdownMonitor(cfg Config, bound int32) (*ShutdownModel, error) {
+	if bound < 1 {
+		return nil, fmt.Errorf("%w: shutdown bound must be positive", ErrConfig)
+	}
+	m, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sm := &ShutdownModel{Model: m}
+	net := m.Net
+
+	sm.vCrashed = net.Var("crashed", 0)
+	clock := net.Clock("shutdown_delay", bound+2)
+
+	// Arm the monitor when a crash concerns the network: p[0] crashing,
+	// a joined participant crashing, or a beat from an already-crashed
+	// process being delivered (the delivery is what creates the doomed
+	// membership — a process whose only solicitation was lost was never
+	// part of the network, and p[0] rightly runs on without it).
+	crashed := sm.vCrashed
+	arm := func(s *ta.State) {
+		if s.Vars[crashed] == 0 {
+			s.Vars[crashed] = 1
+			s.Clocks[clock] = 0
+		}
+	}
+	instrument := func(e *ta.Edge, when func(s *ta.State) bool) {
+		prev := e.Update
+		e.Update = func(s *ta.State) {
+			armNow := when == nil || when(s) // evaluate before prev mutates
+			if prev != nil {
+				prev(s)
+			}
+			if armNow {
+				arm(s)
+			}
+		}
+	}
+	for ai, a := range net.Automata() {
+		for ei := range a.Edges {
+			e := &a.Edges[ei]
+			switch {
+			case e.Label == "crash p[0]":
+				instrument(e, nil)
+			case len(e.Label) >= 5 && e.Label[:5] == "crash":
+				// A participant: find which one by automaton index.
+				for i, p := range m.ps {
+					if p.aut == ai {
+						jnd := m.vJnd[i]
+						instrument(e, func(s *ta.State) bool { return s.Vars[jnd] == 1 })
+					}
+				}
+			}
+		}
+	}
+	// Deliveries from already-crashed participants arm the monitor too.
+	p0aut := net.Automata()[m.p0.aut]
+	for ei := range p0aut.Edges {
+		e := &p0aut.Edges[ei]
+		for i := range m.ps {
+			if e.Chan == m.chDlvTrue[i] && e.From == m.p0.alive {
+				active := m.vActive[i]
+				instrument(e, func(s *ta.State) bool { return s.Vars[active] == 0 })
+			}
+		}
+	}
+
+	// wronglyLive characterises an incomplete shutdown: either p[0] still
+	// counts a dead member (it must wind down), or p[0] is gone and some
+	// non-leaving participant is still up (its watchdog must fire). A
+	// crash that the network never admitted — or that completed its
+	// graceful leave before anyone noticed — obliges nobody.
+	wronglyLive := func(s *ta.State) bool {
+		if s.Vars[m.vActive0] == 1 {
+			for i := range m.ps {
+				if s.Vars[m.vJnd[i]] == 1 && s.Vars[m.vActive[i]] == 0 {
+					return true
+				}
+			}
+			return false
+		}
+		for i := range m.ps {
+			if s.Vars[m.vActive[i]] != 1 {
+				continue
+			}
+			if m.Cfg.Variant == Dynamic && s.Vars[m.vLeave[i]] == 1 {
+				continue // graceful leavers are exempt
+			}
+			return true
+		}
+		return false
+	}
+
+	mon := &ta.Automaton{Name: "ShutdownMon"}
+	watch := addLoc(mon, ta.Location{Name: "Watch"})
+	sm.errLoc = addLoc(mon, ta.Location{Name: "Error"})
+	mon.Init = watch
+	mon.Edges = append(mon.Edges, ta.Edge{
+		From: watch, To: sm.errLoc,
+		Guard: func(s *ta.State) bool {
+			return s.Vars[crashed] == 1 && s.Clocks[clock] > bound && wronglyLive(s)
+		},
+		Label: "error shutdown",
+	})
+	sm.monAut = len(net.Automata())
+	net.Add(mon)
+	return sm, nil
+}
+
+// Violated reports whether the shutdown monitor reached Error.
+func (sm *ShutdownModel) Violated(s *ta.State) bool {
+	return int(s.Locs[sm.monAut]) == sm.errLoc
+}
+
+// VerifyShutdown builds the monitored model and checks the property.
+// Satisfied means every reachable post-crash configuration winds the whole
+// network down within the bound.
+func VerifyShutdown(cfg Config, bound int32, opts mc.Options) (Verdict, error) {
+	sm, err := BuildWithShutdownMonitor(cfg, bound)
+	if err != nil {
+		return Verdict{}, err
+	}
+	res, err := mc.CheckReachability(sm.Net, sm.Violated, opts)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("checking shutdown on %v: %w", cfg.Variant, err)
+	}
+	return Verdict{Cfg: cfg, Satisfied: !res.Reachable, Result: res}, nil
+}

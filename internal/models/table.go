@@ -1,0 +1,128 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mc"
+)
+
+// TableSpec describes a verification table: a tmin sweep checked for
+// R1–R3 on one or more variants, as in Tables 1 and 2 of the analysis.
+type TableSpec struct {
+	// Variants are the protocols included in the table.
+	Variants []Variant
+	// TMins is the sweep (the paper uses 1, 4, 5, 9, 10).
+	TMins []int32
+	// TMax is the fixed upper bound (the paper uses 10).
+	TMax int32
+	// N is the participant count per model.
+	N int
+	// Fixed checks the corrected protocols instead of the originals.
+	Fixed bool
+	// Opts tunes the model checker.
+	Opts mc.Options
+}
+
+// DefaultTMins is the data-set sweep of the analysis.
+func DefaultTMins() []int32 { return []int32{1, 4, 5, 9, 10} }
+
+// Cell is one verdict of a table.
+type Cell struct {
+	Variant Variant
+	TMin    int32
+	Prop    Property
+	Verdict Verdict
+}
+
+// RunTable evaluates every (variant, tmin, property) combination.
+func RunTable(spec TableSpec) ([]Cell, error) {
+	var cells []Cell
+	for _, variant := range spec.Variants {
+		for _, tmin := range spec.TMins {
+			for _, prop := range []Property{R1, R2, R3} {
+				cfg := Config{
+					TMin:    tmin,
+					TMax:    spec.TMax,
+					Variant: variant,
+					N:       spec.N,
+					Fixed:   spec.Fixed,
+				}
+				v, err := Verify(cfg, prop, spec.Opts)
+				if err != nil {
+					return cells, fmt.Errorf("table cell %v tmin=%d %v: %w", variant, tmin, prop, err)
+				}
+				cells = append(cells, Cell{Variant: variant, TMin: tmin, Prop: prop, Verdict: v})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FormatTable renders cells in the layout of the paper's tables: one block
+// per variant, properties as rows, the tmin sweep as columns, T/F entries.
+func FormatTable(cells []Cell) string {
+	var sb strings.Builder
+	byVariant := map[Variant][]Cell{}
+	var order []Variant
+	for _, c := range cells {
+		if _, ok := byVariant[c.Variant]; !ok {
+			order = append(order, c.Variant)
+		}
+		byVariant[c.Variant] = append(byVariant[c.Variant], c)
+	}
+	for _, variant := range order {
+		vs := byVariant[variant]
+		var tmins []int32
+		seen := map[int32]bool{}
+		for _, c := range vs {
+			if !seen[c.TMin] {
+				seen[c.TMin] = true
+				tmins = append(tmins, c.TMin)
+			}
+		}
+		fmt.Fprintf(&sb, "%s protocol\n", variant)
+		fmt.Fprintf(&sb, "  %-6s", "tmin")
+		for _, tm := range tmins {
+			fmt.Fprintf(&sb, " %3d", tm)
+		}
+		sb.WriteString("\n")
+		for _, prop := range []Property{R1, R2, R3} {
+			fmt.Fprintf(&sb, "  %-6s", prop)
+			for _, tm := range tmins {
+				mark := "?"
+				for _, c := range vs {
+					if c.TMin == tm && c.Prop == prop {
+						if c.Verdict.Satisfied {
+							mark = "T"
+						} else {
+							mark = "F"
+						}
+					}
+				}
+				fmt.Fprintf(&sb, " %3s", mark)
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// VerdictString flattens the R1R2R3 verdicts for one variant and tmin into
+// a compact "FTT"-style string, for tests.
+func VerdictString(cells []Cell, variant Variant, tmin int32) string {
+	out := ""
+	for _, prop := range []Property{R1, R2, R3} {
+		for _, c := range cells {
+			if c.Variant == variant && c.TMin == tmin && c.Prop == prop {
+				if c.Verdict.Satisfied {
+					out += "T"
+				} else {
+					out += "F"
+				}
+			}
+		}
+	}
+	return out
+}

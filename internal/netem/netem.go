@@ -1,0 +1,424 @@
+// Package netem emulates unreliable point-to-point networks for the
+// heartbeat protocols.
+//
+// The emulation matches the channel model of Gouda & McGuire (ICDCS'98): a
+// sent message is either lost or delivered intact within a bounded delay;
+// messages are never corrupted; messages sent to crashed processes are still
+// delivered (the crashed process ignores them). Links are unidirectional and
+// configured independently, so asymmetric delay and loss are expressible.
+//
+// Two implementations share the Transport interface: Network runs on a
+// sim.Simulator in virtual time, and RealNetwork runs on the wall clock.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a process on the network. The heartbeat papers index
+// processes p[0..n]; NodeID follows that convention.
+type NodeID int
+
+// Message is a delivered datagram.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload []byte
+}
+
+// Handler receives delivered messages. Handlers run on the delivering
+// goroutine (RealNetwork) or inside the simulation event (Network) and must
+// not block.
+type Handler func(Message)
+
+// Transport is the sending half shared by simulated and real networks.
+type Transport interface {
+	// Send queues payload from one node to another. It returns an error
+	// only for unknown nodes; loss is silent, as on a real network.
+	Send(from, to NodeID, payload []byte) error
+	// Broadcast sends payload from the given node to every other
+	// registered node, as independent unicasts (each may be lost or
+	// delayed independently, like the per-recipient channels in the
+	// static heartbeat protocol).
+	Broadcast(from NodeID, payload []byte) error
+	// Register attaches a node and its delivery handler.
+	Register(id NodeID, h Handler) error
+}
+
+// LinkConfig shapes a unidirectional link.
+type LinkConfig struct {
+	// LossProb is the independent per-message loss probability in [0, 1].
+	LossProb float64
+	// MinDelay and MaxDelay bound the delivery delay, inclusive. Delay is
+	// drawn uniformly from [MinDelay, MaxDelay]. To respect the papers'
+	// round-trip bound tmin, configure each direction with
+	// MaxDelay <= tmin/2 (the conservative per-direction split).
+	MinDelay sim.Time
+	MaxDelay sim.Time
+	// DupProb is the probability that a delivered message is delivered
+	// twice (second copy gets an independent delay). The heartbeat
+	// protocols are idempotent, so duplication is a useful stressor.
+	DupProb float64
+	// Down drops every message; models a channel crash.
+	Down bool
+}
+
+func (c LinkConfig) validate() error {
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("netem: loss probability %v out of [0,1]", c.LossProb)
+	}
+	if c.DupProb < 0 || c.DupProb > 1 {
+		return fmt.Errorf("netem: duplication probability %v out of [0,1]", c.DupProb)
+	}
+	if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("netem: bad delay bounds [%d,%d]", c.MinDelay, c.MaxDelay)
+	}
+	return nil
+}
+
+// LinkStats counts traffic on one unidirectional link.
+type LinkStats struct {
+	Sent       uint64
+	Delivered  uint64
+	Lost       uint64
+	Duplicated uint64
+}
+
+// Stats aggregates link statistics.
+type Stats struct {
+	Total LinkStats
+	Links map[[2]NodeID]LinkStats
+}
+
+// Errors returned by transports.
+var (
+	ErrUnknownNode = errors.New("netem: unknown node")
+	ErrDuplicateID = errors.New("netem: node already registered")
+)
+
+// Network is a simulated-time transport driven by a sim.Simulator.
+// It is not safe for concurrent use (the simulator is single-threaded).
+type Network struct {
+	simr     *sim.Simulator
+	rng      *rand.Rand
+	handlers map[NodeID]Handler
+	links    map[[2]NodeID]LinkConfig
+	def      LinkConfig
+	stats    Stats
+}
+
+var _ Transport = (*Network)(nil)
+
+// NewNetwork creates a simulated network with the given default link
+// configuration applied to links that have no explicit configuration.
+func NewNetwork(s *sim.Simulator, def LinkConfig) (*Network, error) {
+	if err := def.validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		simr:     s,
+		rng:      s.Rand(),
+		handlers: make(map[NodeID]Handler),
+		links:    make(map[[2]NodeID]LinkConfig),
+		def:      def,
+		stats:    Stats{Links: make(map[[2]NodeID]LinkStats)},
+	}, nil
+}
+
+// Register attaches a node.
+func (n *Network) Register(id NodeID, h Handler) error {
+	if _, ok := n.handlers[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	n.handlers[id] = h
+	return nil
+}
+
+// SetLink overrides the configuration of the from→to link.
+func (n *Network) SetLink(from, to NodeID, cfg LinkConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	n.links[[2]NodeID{from, to}] = cfg
+	return nil
+}
+
+// SetLinkDown raises or clears the Down flag on the from→to link.
+func (n *Network) SetLinkDown(from, to NodeID, down bool) {
+	key := [2]NodeID{from, to}
+	cfg, ok := n.links[key]
+	if !ok {
+		cfg = n.def
+	}
+	cfg.Down = down
+	n.links[key] = cfg
+}
+
+// PartitionNode takes every link to and from id down (or back up).
+func (n *Network) PartitionNode(id NodeID, down bool) {
+	for other := range n.handlers {
+		if other == id {
+			continue
+		}
+		n.SetLinkDown(id, other, down)
+		n.SetLinkDown(other, id, down)
+	}
+}
+
+func (n *Network) linkConfig(from, to NodeID) LinkConfig {
+	if cfg, ok := n.links[[2]NodeID{from, to}]; ok {
+		return cfg
+	}
+	return n.def
+}
+
+// Send implements Transport.
+func (n *Network) Send(from, to NodeID, payload []byte) error {
+	if _, ok := n.handlers[from]; !ok {
+		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	h, ok := n.handlers[to]
+	if !ok {
+		return fmt.Errorf("%w: recipient %d", ErrUnknownNode, to)
+	}
+	key := [2]NodeID{from, to}
+	cfg := n.linkConfig(from, to)
+	st := n.stats.Links[key]
+	st.Sent++
+	n.stats.Total.Sent++
+	if cfg.Down || n.rng.Float64() < cfg.LossProb {
+		st.Lost++
+		n.stats.Total.Lost++
+		n.stats.Links[key] = st
+		return nil
+	}
+	copies := 1
+	if cfg.DupProb > 0 && n.rng.Float64() < cfg.DupProb {
+		copies = 2
+		st.Duplicated++
+		n.stats.Total.Duplicated++
+	}
+	// Copy once; handlers must not mutate the payload (messages are
+	// immutable datagrams), so copies may share it.
+	data := append([]byte(nil), payload...)
+	msg := Message{From: from, To: to, Payload: data}
+	for i := 0; i < copies; i++ {
+		delay := cfg.MinDelay
+		if cfg.MaxDelay > cfg.MinDelay {
+			delay += sim.Time(n.rng.Int63n(int64(cfg.MaxDelay-cfg.MinDelay) + 1))
+		}
+		if _, err := n.simr.Schedule(delay, func() { h(msg) }); err != nil {
+			return fmt.Errorf("netem: scheduling delivery: %w", err)
+		}
+		st.Delivered++
+		n.stats.Total.Delivered++
+	}
+	n.stats.Links[key] = st
+	return nil
+}
+
+// Broadcast implements Transport.
+func (n *Network) Broadcast(from NodeID, payload []byte) error {
+	if _, ok := n.handlers[from]; !ok {
+		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	for _, to := range n.nodeIDs() {
+		if to == from {
+			continue
+		}
+		if err := n.Send(from, to, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeIDs returns registered node IDs in ascending order so that broadcasts
+// are deterministic.
+func (n *Network) nodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(n.handlers))
+	for id := range n.handlers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	out := Stats{Total: n.stats.Total, Links: make(map[[2]NodeID]LinkStats, len(n.stats.Links))}
+	for k, v := range n.stats.Links {
+		out.Links[k] = v
+	}
+	return out
+}
+
+// mu-protected state makes RealNetwork safe for concurrent use.
+type realNode struct {
+	handler Handler
+}
+
+// RealNetwork is a wall-clock transport with the same loss/delay model,
+// intended for the runnable examples. Delays are expressed in ticks and
+// scaled by TickDuration.
+type RealNetwork struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nodes    map[NodeID]*realNode
+	links    map[[2]NodeID]LinkConfig
+	def      LinkConfig
+	stats    Stats
+	tick     Ticker
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// Ticker schedules callbacks after a number of ticks; it decouples
+// RealNetwork from the time package for testability.
+type Ticker interface {
+	AfterTicks(n sim.Time, fn func()) (cancel func())
+}
+
+// NewRealNetwork creates a wall-clock network. The ticker defines the
+// physical length of one virtual tick.
+func NewRealNetwork(tick Ticker, seed int64, def LinkConfig) (*RealNetwork, error) {
+	if err := def.validate(); err != nil {
+		return nil, err
+	}
+	return &RealNetwork{
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[NodeID]*realNode),
+		links: make(map[[2]NodeID]LinkConfig),
+		def:   def,
+		stats: Stats{Links: make(map[[2]NodeID]LinkStats)},
+		tick:  tick,
+	}, nil
+}
+
+var _ Transport = (*RealNetwork)(nil)
+
+// Register implements Transport.
+func (n *RealNetwork) Register(id NodeID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	n.nodes[id] = &realNode{handler: h}
+	return nil
+}
+
+// SetLink overrides the configuration of the from→to link.
+func (n *RealNetwork) SetLink(from, to NodeID, cfg LinkConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]NodeID{from, to}] = cfg
+	return nil
+}
+
+// Send implements Transport.
+func (n *RealNetwork) Send(from, to NodeID, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	if _, ok := n.nodes[from]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	node, ok := n.nodes[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: recipient %d", ErrUnknownNode, to)
+	}
+	key := [2]NodeID{from, to}
+	cfg, okc := n.links[key]
+	if !okc {
+		cfg = n.def
+	}
+	st := n.stats.Links[key]
+	st.Sent++
+	n.stats.Total.Sent++
+	if cfg.Down || n.rng.Float64() < cfg.LossProb {
+		st.Lost++
+		n.stats.Total.Lost++
+		n.stats.Links[key] = st
+		n.mu.Unlock()
+		return nil
+	}
+	delay := cfg.MinDelay
+	if cfg.MaxDelay > cfg.MinDelay {
+		delay += sim.Time(n.rng.Int63n(int64(cfg.MaxDelay-cfg.MinDelay) + 1))
+	}
+	st.Delivered++
+	n.stats.Total.Delivered++
+	n.stats.Links[key] = st
+	msg := Message{From: from, To: to, Payload: append([]byte(nil), payload...)}
+	n.inflight.Add(1)
+	n.mu.Unlock()
+
+	n.tick.AfterTicks(delay, func() {
+		defer n.inflight.Done()
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if !closed {
+			node.handler(msg)
+		}
+	})
+	return nil
+}
+
+// Broadcast implements Transport.
+func (n *RealNetwork) Broadcast(from NodeID, payload []byte) error {
+	n.mu.Lock()
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, to := range ids {
+		if err := n.Send(from, to, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (n *RealNetwork) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := Stats{Total: n.stats.Total, Links: make(map[[2]NodeID]LinkStats, len(n.stats.Links))}
+	for k, v := range n.stats.Links {
+		out.Links[k] = v
+	}
+	return out
+}
+
+// Drain blocks until every in-flight message has been delivered. Callers
+// must not Send concurrently with Drain.
+func (n *RealNetwork) Drain() {
+	n.inflight.Wait()
+}
+
+// Close stops delivering messages and waits for in-flight timers to drain.
+func (n *RealNetwork) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.inflight.Wait()
+}

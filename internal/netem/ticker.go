@@ -1,0 +1,33 @@
+package netem
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// WallTicker maps virtual ticks to wall-clock time for RealNetwork.
+type WallTicker struct {
+	// TickLen is the physical duration of one tick.
+	TickLen time.Duration
+}
+
+var _ Ticker = WallTicker{}
+
+// AfterTicks implements Ticker using time.AfterFunc.
+func (w WallTicker) AfterTicks(n sim.Time, fn func()) (cancel func()) {
+	t := time.AfterFunc(w.TickLen*time.Duration(n), fn)
+	return func() { t.Stop() }
+}
+
+// ImmediateTicker runs callbacks synchronously, ignoring the delay. It is
+// useful in tests that only exercise loss and routing, not timing.
+type ImmediateTicker struct{}
+
+var _ Ticker = ImmediateTicker{}
+
+// AfterTicks implements Ticker by calling fn inline.
+func (ImmediateTicker) AfterTicks(_ sim.Time, fn func()) (cancel func()) {
+	fn()
+	return func() {}
+}

@@ -1,0 +1,344 @@
+// Package scenario runs Monte-Carlo experiments on simulated heartbeat
+// clusters: detection latency under crash injection, steady-state message
+// overhead, and false-detection probability under message loss. These
+// regenerate the quantitative trade-off the ICDCS'98 paper argues for —
+// acceleration keeps the plain protocol's detection latency at a fraction
+// of its message rate, and tolerates bursts of ~log2(tmax/tmin) losses
+// where the plain protocol tolerates MissLimit.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ErrScenario reports an invalid experiment configuration.
+var ErrScenario = errors.New("scenario: invalid configuration")
+
+// DetectionConfig parameterises a crash-detection latency experiment.
+type DetectionConfig struct {
+	// Cluster is the deployment under test (its Seed is re-derived per
+	// trial).
+	Cluster detector.ClusterConfig
+	// CrashAt is the virtual time the victim crashes.
+	CrashAt sim.Time
+	// CrashJitter, when positive, offsets each trial's crash time by a
+	// per-trial uniform draw from [0, CrashJitter), decorrelating the
+	// crash from the protocol's round phase.
+	CrashJitter sim.Time
+	// Victim is the participant to crash (defaults to 1).
+	Victim core.ProcID
+	// Horizon bounds each trial.
+	Horizon sim.Time
+	// Trials is the number of independent runs.
+	Trials int
+	// Seed derives per-trial seeds.
+	Seed int64
+}
+
+// DetectionResult summarises a detection experiment.
+type DetectionResult struct {
+	// Delays are crash-to-suspicion latencies in ticks, one per trial
+	// that detected.
+	Delays stats.Sample
+	// Missed counts trials with no detection before the horizon.
+	Missed int
+	// Bound is the protocol's worst-case detection bound (plus one
+	// round-trip for the crash-to-missed-beat offset).
+	Bound core.Tick
+}
+
+// MeasureDetection crashes the victim in each trial and measures the time
+// until the coordinator suspects it.
+func MeasureDetection(cfg DetectionConfig) (*DetectionResult, error) {
+	if cfg.Trials < 1 || cfg.Horizon <= cfg.CrashAt {
+		return nil, fmt.Errorf("%w: need trials >= 1 and horizon > crash time", ErrScenario)
+	}
+	if cfg.Victim == 0 {
+		cfg.Victim = 1
+	}
+	out := &DetectionResult{
+		Bound: cfg.Cluster.Core.CoordinatorDetectionBound() + cfg.Cluster.Core.TMin,
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		cc := cfg.Cluster
+		cc.Seed = cfg.Seed + int64(trial)
+		c, err := detector.NewCluster(cc)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Start(); err != nil {
+			return nil, err
+		}
+		crashAt := cfg.CrashAt
+		if cfg.CrashJitter > 0 {
+			crashAt += sim.Time(c.Sim.Rand().Int63n(int64(cfg.CrashJitter)))
+		}
+		c.Sim.RunUntil(crashAt)
+		victim, ok := c.Participants[cfg.Victim]
+		if !ok {
+			return nil, fmt.Errorf("%w: no participant %d", ErrScenario, cfg.Victim)
+		}
+		victim.Crash()
+		c.Sim.RunUntil(cfg.Horizon)
+		if ev, found := c.FirstEvent(netem.NodeID(core.CoordinatorID), detector.EventSuspect); found {
+			out.Delays.Add(float64(ev.Time - core.Tick(crashAt)))
+		} else {
+			out.Missed++
+		}
+	}
+	return out, nil
+}
+
+// OverheadConfig parameterises a steady-state message-rate experiment.
+type OverheadConfig struct {
+	Cluster detector.ClusterConfig
+	// Duration is the fault-free observation window.
+	Duration sim.Time
+}
+
+// OverheadResult summarises steady-state traffic.
+type OverheadResult struct {
+	// MessagesPerTick is the total send rate across all links.
+	MessagesPerTick float64
+	// Sent is the raw message count.
+	Sent uint64
+	// FalselyInactivated reports a protocol breakdown during the
+	// fault-free window (should never happen without loss).
+	FalselyInactivated bool
+}
+
+// MeasureOverhead runs the cluster fault-free and reports the message
+// rate.
+func MeasureOverhead(cfg OverheadConfig) (*OverheadResult, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("%w: need a positive duration", ErrScenario)
+	}
+	c, err := detector.NewCluster(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	c.Sim.RunUntil(cfg.Duration)
+	st := c.Net.Stats()
+	_, inactivated := c.FirstEvent(netem.NodeID(core.CoordinatorID), detector.EventInactivated)
+	return &OverheadResult{
+		MessagesPerTick:    float64(st.Total.Sent) / float64(cfg.Duration),
+		Sent:               st.Total.Sent,
+		FalselyInactivated: inactivated,
+	}, nil
+}
+
+// PlainOverhead computes the baseline's message rate analytically for
+// comparison: 2·n beats per period (each member exchange is a beat and a
+// reply).
+func PlainOverhead(n int, period core.Tick) float64 {
+	return 2 * float64(n) / float64(period)
+}
+
+// ReliabilityConfig parameterises a false-detection experiment: the
+// cluster runs fault-free but with lossy links; any non-voluntary
+// inactivation is a false detection.
+type ReliabilityConfig struct {
+	Cluster detector.ClusterConfig
+	// LossProb is the per-message loss probability applied to all links.
+	LossProb float64
+	// Horizon bounds each trial.
+	Horizon sim.Time
+	// Trials is the number of independent runs.
+	Trials int
+	// Seed derives per-trial seeds.
+	Seed int64
+}
+
+// ReliabilityResult summarises false-detection frequency.
+type ReliabilityResult struct {
+	// FalseDetection counts trials where some process non-voluntarily
+	// inactivated despite no crash.
+	FalseDetection stats.Ratio
+	// TimeToFalse samples the inactivation times of failing trials.
+	TimeToFalse stats.Sample
+}
+
+// MeasureReliability runs fault-free trials under loss and counts
+// breakdowns.
+func MeasureReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
+	if cfg.Trials < 1 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("%w: need trials >= 1 and a positive horizon", ErrScenario)
+	}
+	out := &ReliabilityResult{}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		cc := cfg.Cluster
+		cc.Seed = cfg.Seed + int64(trial)
+		cc.Link.LossProb = cfg.LossProb
+		c, err := detector.NewCluster(cc)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Start(); err != nil {
+			return nil, err
+		}
+		c.Sim.RunUntil(cfg.Horizon)
+		failed := false
+		for _, e := range c.Events {
+			if e.Kind == detector.EventInactivated && !e.Voluntary {
+				failed = true
+				out.TimeToFalse.Add(float64(e.Time))
+				break
+			}
+		}
+		out.FalseDetection.Observe(failed)
+	}
+	return out, nil
+}
+
+// PlainCluster assembles a plain-heartbeat baseline deployment with the
+// same shape as detector.NewCluster, for the comparison experiments.
+type PlainCluster struct {
+	Sim          *sim.Simulator
+	Net          *netem.Network
+	Coordinator  *detector.Node
+	Participants map[core.ProcID]*detector.Node
+	Events       []detector.Event
+}
+
+// PlainClusterConfig parameterises the baseline deployment.
+type PlainClusterConfig struct {
+	// Plain carries the baseline constants; its Members list is derived
+	// from N.
+	Period    core.Tick
+	MissLimit int
+	N         int
+	Link      netem.LinkConfig
+	Seed      int64
+}
+
+// NewPlainCluster builds and starts a baseline cluster.
+func NewPlainCluster(cfg PlainClusterConfig) (*PlainCluster, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("%w: need at least one participant", ErrScenario)
+	}
+	s := sim.New(sim.WithSeed(cfg.Seed))
+	net, err := netem.NewNetwork(s, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	pc := &PlainCluster{
+		Sim:          s,
+		Net:          net,
+		Participants: make(map[core.ProcID]*detector.Node, cfg.N),
+	}
+	clock := detector.SimClock{Sim: s}
+	sink := detector.EventFunc(func(e detector.Event) { pc.Events = append(pc.Events, e) })
+
+	members := make([]core.ProcID, 0, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		members = append(members, core.ProcID(i))
+	}
+	coord, err := core.NewPlainCoordinator(core.PlainConfig{
+		Period: cfg.Period, MissLimit: cfg.MissLimit, Members: members,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pc.Coordinator, err = detector.NewNode(detector.Config{
+		ID: netem.NodeID(core.CoordinatorID), Machine: coord,
+		Clock: clock, Transport: net, Events: sink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The responder bound mirrors the coordinator's detection bound plus
+	// a round-trip allowance.
+	bound := core.Tick(cfg.MissLimit+2) * cfg.Period
+	for _, pid := range members {
+		r, err := core.NewPlainResponder(pid, bound)
+		if err != nil {
+			return nil, err
+		}
+		node, err := detector.NewNode(detector.Config{
+			ID: netem.NodeID(pid), Machine: r,
+			Clock: clock, Transport: net, Events: sink,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pc.Participants[pid] = node
+	}
+	if err := pc.Coordinator.Start(); err != nil {
+		return nil, err
+	}
+	for _, pid := range members {
+		if err := pc.Participants[pid].Start(); err != nil {
+			return nil, err
+		}
+	}
+	return pc, nil
+}
+
+// MeasurePlainReliability is MeasureReliability for the baseline.
+func MeasurePlainReliability(cfg PlainClusterConfig, lossProb float64, horizon sim.Time, trials int, seed int64) (*ReliabilityResult, error) {
+	if trials < 1 || horizon <= 0 {
+		return nil, fmt.Errorf("%w: need trials >= 1 and a positive horizon", ErrScenario)
+	}
+	out := &ReliabilityResult{}
+	for trial := 0; trial < trials; trial++ {
+		cc := cfg
+		cc.Seed = seed + int64(trial)
+		cc.Link.LossProb = lossProb
+		pc, err := NewPlainCluster(cc)
+		if err != nil {
+			return nil, err
+		}
+		pc.Sim.RunUntil(horizon)
+		failed := false
+		for _, e := range pc.Events {
+			if e.Kind == detector.EventInactivated && !e.Voluntary {
+				failed = true
+				out.TimeToFalse.Add(float64(e.Time))
+				break
+			}
+		}
+		out.FalseDetection.Observe(failed)
+	}
+	return out, nil
+}
+
+// MeasurePlainDetection crashes the victim under the baseline protocol.
+func MeasurePlainDetection(cfg PlainClusterConfig, crashAt, horizon sim.Time, trials int, seed int64) (*DetectionResult, error) {
+	if trials < 1 || horizon <= crashAt {
+		return nil, fmt.Errorf("%w: need trials >= 1 and horizon > crash time", ErrScenario)
+	}
+	out := &DetectionResult{Bound: core.Tick(cfg.MissLimit+1)*cfg.Period + 1}
+	for trial := 0; trial < trials; trial++ {
+		cc := cfg
+		cc.Seed = seed + int64(trial)
+		pc, err := NewPlainCluster(cc)
+		if err != nil {
+			return nil, err
+		}
+		pc.Sim.RunUntil(crashAt)
+		pc.Participants[1].Crash()
+		pc.Sim.RunUntil(horizon)
+		detected := false
+		for _, e := range pc.Events {
+			if e.Kind == detector.EventSuspect && e.Node == 0 {
+				out.Delays.Add(float64(e.Time - core.Tick(crashAt)))
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			out.Missed++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/netem"
+)
+
+func binaryCluster() detector.ClusterConfig {
+	return detector.ClusterConfig{
+		Protocol: detector.ProtocolBinary,
+		Core:     core.Config{TMin: 2, TMax: 16},
+	}
+}
+
+func TestMeasureDetectionWithinBound(t *testing.T) {
+	res, err := MeasureDetection(DetectionConfig{
+		Cluster: binaryCluster(),
+		CrashAt: 100,
+		Horizon: 400,
+		Trials:  20,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("MeasureDetection: %v", err)
+	}
+	if res.Missed != 0 {
+		t.Fatalf("missed %d detections", res.Missed)
+	}
+	maxDelay, err := res.Delays.Max()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxDelay > float64(res.Bound) {
+		t.Fatalf("max delay %v exceeds bound %d", maxDelay, res.Bound)
+	}
+	if minDelay, _ := res.Delays.Min(); minDelay <= 0 {
+		t.Fatalf("min delay %v not positive", minDelay)
+	}
+}
+
+func TestMeasureDetectionValidation(t *testing.T) {
+	if _, err := MeasureDetection(DetectionConfig{Cluster: binaryCluster(), Trials: 0, Horizon: 10, CrashAt: 1}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := MeasureDetection(DetectionConfig{Cluster: binaryCluster(), Trials: 1, Horizon: 5, CrashAt: 10}); err == nil {
+		t.Fatal("horizon before crash accepted")
+	}
+}
+
+func TestMeasureOverheadAcceleratedVsPlain(t *testing.T) {
+	// Accelerated: one exchange (2 messages) per tmax in steady state.
+	res, err := MeasureOverhead(OverheadConfig{
+		Cluster:  binaryCluster(),
+		Duration: 4000,
+	})
+	if err != nil {
+		t.Fatalf("MeasureOverhead: %v", err)
+	}
+	if res.FalselyInactivated {
+		t.Fatal("fault-free run inactivated")
+	}
+	want := 2.0 / 16
+	if res.MessagesPerTick < want*0.9 || res.MessagesPerTick > want*1.1 {
+		t.Fatalf("accelerated rate %v, want about %v", res.MessagesPerTick, want)
+	}
+	// A plain protocol matching the accelerated detection bound (about
+	// 3·tmax − tmin = 46 ticks) with MissLimit 2 needs period ~15, i.e.
+	// roughly the same rate; matching the accelerated protocol's
+	// worst-case loss tolerance (3 consecutive losses) at that detection
+	// bound needs period ~11, i.e. more traffic.
+	plain := PlainOverhead(1, 11)
+	if plain <= res.MessagesPerTick {
+		t.Fatalf("plain rate %v should exceed accelerated %v at equal tolerance", plain, res.MessagesPerTick)
+	}
+}
+
+func TestMeasureReliabilityMonotoneInLoss(t *testing.T) {
+	base := ReliabilityConfig{
+		Cluster: binaryCluster(),
+		Horizon: 2000,
+		Trials:  40,
+		Seed:    7,
+	}
+	low := base
+	low.LossProb = 0.02
+	high := base
+	high.LossProb = 0.45
+	resLow, err := MeasureReliability(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHigh, err := MeasureReliability(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLow, _ := resLow.FalseDetection.Value()
+	pHigh, _ := resHigh.FalseDetection.Value()
+	if pHigh <= pLow {
+		t.Fatalf("false detection not increasing in loss: %v (2%%) vs %v (45%%)", pLow, pHigh)
+	}
+	if pHigh < 0.5 {
+		t.Fatalf("45%% loss should usually break the protocol, got %v", pHigh)
+	}
+}
+
+func TestPlainClusterRunsAndDetects(t *testing.T) {
+	cfg := PlainClusterConfig{Period: 8, MissLimit: 3, N: 2}
+	res, err := MeasurePlainDetection(cfg, 100, 400, 10, 3)
+	if err != nil {
+		t.Fatalf("MeasurePlainDetection: %v", err)
+	}
+	if res.Missed != 0 {
+		t.Fatalf("missed %d", res.Missed)
+	}
+	maxDelay, _ := res.Delays.Max()
+	if maxDelay > float64(res.Bound)+8 {
+		t.Fatalf("delay %v beyond bound %d", maxDelay, res.Bound)
+	}
+}
+
+func TestPlainMoreFragileAtEqualRate(t *testing.T) {
+	// At roughly equal steady-state rates, the plain protocol with
+	// MissLimit 1 breaks far more often than the accelerated one, whose
+	// effective miss budget is log2(tmax/tmin) consecutive rounds.
+	loss := 0.15
+	horizon := 3000
+	acc, err := MeasureReliability(ReliabilityConfig{
+		Cluster:  binaryCluster(), // tmax=16 → 2/16 msgs/tick
+		LossProb: loss,
+		Horizon:  3000,
+		Trials:   60,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := MeasurePlainReliability(
+		PlainClusterConfig{Period: 16, MissLimit: 1, N: 1}, // 2/16 msgs/tick
+		loss, 3000, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAcc, _ := acc.FalseDetection.Value()
+	pPlain, _ := plain.FalseDetection.Value()
+	if pPlain <= pAcc {
+		t.Fatalf("plain %v should be more fragile than accelerated %v at equal rate (horizon %d)",
+			pPlain, pAcc, horizon)
+	}
+}
+
+func TestPlainClusterValidation(t *testing.T) {
+	if _, err := NewPlainCluster(PlainClusterConfig{Period: 8, MissLimit: 1, N: 0}); err == nil {
+		t.Fatal("zero participants accepted")
+	}
+	if _, err := MeasurePlainReliability(PlainClusterConfig{Period: 8, MissLimit: 1, N: 1}, 0.1, 0, 1, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := MeasurePlainDetection(PlainClusterConfig{Period: 8, MissLimit: 1, N: 1}, 10, 5, 1, 1); err == nil {
+		t.Fatal("bad horizon accepted")
+	}
+}
+
+func TestReliabilityValidation(t *testing.T) {
+	if _, err := MeasureReliability(ReliabilityConfig{Cluster: binaryCluster(), Trials: 0, Horizon: 10}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := MeasureOverhead(OverheadConfig{Cluster: binaryCluster(), Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestMeasureDetectionStaticVictims(t *testing.T) {
+	cfg := DetectionConfig{
+		Cluster: detector.ClusterConfig{
+			Protocol: detector.ProtocolStatic,
+			Core:     core.Config{TMin: 2, TMax: 16},
+			N:        3,
+			Link:     netem.LinkConfig{MaxDelay: 1},
+		},
+		CrashAt: 200,
+		Victim:  2,
+		Horizon: 600,
+		Trials:  10,
+		Seed:    5,
+	}
+	res, err := MeasureDetection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed != 0 {
+		t.Fatalf("missed %d", res.Missed)
+	}
+}

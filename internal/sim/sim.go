@@ -1,0 +1,220 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives virtual time: events are scheduled at integer ticks and
+// executed in nondecreasing time order. Events scheduled for the same tick
+// run in FIFO order (scheduling order), which makes runs reproducible and
+// lets protocol code express the "simultaneous events" races that the
+// accelerated heartbeat analysis exercises.
+//
+// A Simulator is not safe for concurrent use; it is single-threaded by
+// design so that every run with the same seed and the same scheduling
+// sequence produces the same trace.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, measured in ticks. The tick has no fixed
+// physical meaning; protocol code interprets it (the heartbeat protocols use
+// the same unit as tmin and tmax).
+type Time int64
+
+// ErrPastTime is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastTime = errors.New("sim: schedule time is in the past")
+
+// Event is a callback executed when its scheduled time is reached.
+type Event func()
+
+// Timer is a handle to a scheduled event. Its zero value is not useful;
+// timers are created by Simulator.Schedule and Simulator.ScheduleAt.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        Event
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// At reports the virtual time the timer fires at.
+func (t *Timer) At() Time { return t.at }
+
+// Cancelled reports whether Cancel was called before the timer fired.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// Cancel prevents the timer's event from running. Cancelling an already
+// fired or already cancelled timer is a no-op. It reports whether the
+// cancellation prevented a pending event.
+func (t *Timer) Cancel() bool {
+	if t.cancelled || t.index < 0 {
+		return false
+	}
+	t.cancelled = true
+	return true
+}
+
+// Simulator owns a virtual clock and an event queue.
+type Simulator struct {
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	rng       *rand.Rand
+	executed  uint64
+	scheduled uint64
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithSeed seeds the simulator's random source. Two simulators with the
+// same seed and the same scheduling sequence behave identically.
+func WithSeed(seed int64) Option {
+	return func(s *Simulator) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New returns a Simulator with virtual time 0.
+func New(opts ...Option) *Simulator {
+	s := &Simulator{rng: rand.New(rand.NewSource(1))}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// EventsExecuted returns the number of events run so far.
+func (s *Simulator) EventsExecuted() uint64 { return s.executed }
+
+// EventsScheduled returns the number of events scheduled so far.
+func (s *Simulator) EventsScheduled() uint64 { return s.scheduled }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled timers that have not been drained yet.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule runs fn after d ticks. A negative d is an error; d == 0 runs fn
+// at the current tick, after all events already queued for this tick.
+func (s *Simulator) Schedule(d Time, fn Event) (*Timer, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("%w: delay %d", ErrPastTime, d)
+	}
+	return s.scheduleAt(s.now+d, fn), nil
+}
+
+// ScheduleAt runs fn at absolute virtual time t.
+func (s *Simulator) ScheduleAt(t Time, fn Event) (*Timer, error) {
+	if t < s.now {
+		return nil, fmt.Errorf("%w: at %d, now %d", ErrPastTime, t, s.now)
+	}
+	return s.scheduleAt(t, fn), nil
+}
+
+func (s *Simulator) scheduleAt(t Time, fn Event) *Timer {
+	s.seq++
+	s.scheduled++
+	tm := &Timer{at: t, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.queue, tm)
+	return tm
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// scheduled tick. It reports whether an event was executed; false means the
+// queue is empty.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		tm := heap.Pop(&s.queue).(*Timer)
+		if tm.cancelled {
+			continue
+		}
+		s.now = tm.at
+		s.executed++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty and returns the final
+// virtual time.
+func (s *Simulator) Run() Time {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events scheduled at or before deadline, then advances
+// the clock to deadline (even if the queue drained earlier or later events
+// remain pending).
+func (s *Simulator) RunUntil(deadline Time) Time {
+	for {
+		tm := s.peek()
+		if tm == nil || tm.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Simulator) RunFor(d Time) Time { return s.RunUntil(s.now + d) }
+
+// peek returns the earliest non-cancelled pending timer, draining cancelled
+// entries from the head of the queue.
+func (s *Simulator) peek() *Timer {
+	for s.queue.Len() > 0 {
+		tm := s.queue[0]
+		if !tm.cancelled {
+			return tm
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (time, sequence number). The sequence
+// tiebreak preserves FIFO order among same-tick events.
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*q)
+	*q = append(*q, tm)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*q = old[:n-1]
+	return tm
+}

@@ -1,0 +1,241 @@
+// Package stats provides the summary statistics used by the Monte-Carlo
+// heartbeat experiments: running samples with means, deviations,
+// percentiles and normal-approximation confidence intervals, plus fixed-
+// width histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrEmpty is returned by queries on samples with no observations.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddN records an observation with multiplicity n.
+func (s *Sample) AddN(v float64, n int) {
+	for i := 0; i < n; i++ {
+		s.Add(v)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Sum returns the total of all observations.
+func (s *Sample) Sum() float64 {
+	total := 0.0
+	for _, v := range s.values {
+		total += v
+	}
+	return total
+}
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() (float64, error) {
+	if len(s.values) == 0 {
+		return 0, ErrEmpty
+	}
+	return s.Sum() / float64(len(s.values)), nil
+}
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() (float64, error) {
+	if len(s.values) < 2 {
+		return 0, fmt.Errorf("%w: variance needs two observations", ErrEmpty)
+	}
+	mean, _ := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return ss / float64(len(s.values)-1), nil
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() (float64, error) {
+	v, err := s.Variance()
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() (float64, error) {
+	if len(s.values) == 0 {
+		return 0, ErrEmpty
+	}
+	s.ensureSorted()
+	return s.values[0], nil
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() (float64, error) {
+	if len(s.values) == 0 {
+		return 0, ErrEmpty
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1], nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics.
+func (s *Sample) Percentile(p float64) (float64, error) {
+	if len(s.values) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
+	}
+	s.ensureSorted()
+	if len(s.values) == 1 {
+		return s.values[0], nil
+	}
+	rank := p / 100 * float64(len(s.values)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac, nil
+}
+
+// CI95 returns the normal-approximation 95% confidence half-width of the
+// mean.
+func (s *Sample) CI95() (float64, error) {
+	sd, err := s.StdDev()
+	if err != nil {
+		return 0, err
+	}
+	return 1.96 * sd / math.Sqrt(float64(len(s.values))), nil
+}
+
+// ensureSorted sorts the backing slice once per batch of queries.
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Describe renders "mean ± ci [min, p50, p99, max] (n=...)" for reports;
+// degenerate samples render what they can.
+func (s *Sample) Describe() string {
+	if len(s.values) == 0 {
+		return "(no data)"
+	}
+	mean, _ := s.Mean()
+	minV, _ := s.Min()
+	maxV, _ := s.Max()
+	p50, _ := s.Percentile(50)
+	p99, _ := s.Percentile(99)
+	ci, err := s.CI95()
+	if err != nil {
+		return fmt.Sprintf("%.3g (n=1)", mean)
+	}
+	return fmt.Sprintf("%.4g ± %.2g [min %.4g, p50 %.4g, p99 %.4g, max %.4g] (n=%d)",
+		mean, ci, minV, p50, p99, maxV, len(s.values))
+}
+
+// Ratio is a Bernoulli counter: successes over trials, with a Wilson
+// score interval for small samples.
+type Ratio struct {
+	Successes, Trials int
+}
+
+// Observe records one trial.
+func (r *Ratio) Observe(success bool) {
+	r.Trials++
+	if success {
+		r.Successes++
+	}
+}
+
+// Value returns the observed proportion.
+func (r *Ratio) Value() (float64, error) {
+	if r.Trials == 0 {
+		return 0, ErrEmpty
+	}
+	return float64(r.Successes) / float64(r.Trials), nil
+}
+
+// Wilson95 returns the 95% Wilson score interval for the proportion.
+func (r *Ratio) Wilson95() (lo, hi float64, err error) {
+	if r.Trials == 0 {
+		return 0, 0, ErrEmpty
+	}
+	const z = 1.96
+	n := float64(r.Trials)
+	p := float64(r.Successes) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	return math.Max(0, center-half), math.Min(1, center+half), nil
+}
+
+// Histogram counts observations into fixed-width buckets over [Lo, Hi);
+// out-of-range observations land in the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+}
+
+// NewHistogram builds a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 || hi <= lo {
+		return nil, fmt.Errorf("stats: bad histogram shape [%v,%v) x%d", lo, hi, n)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}, nil
+}
+
+// Add records an observation.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+}
+
+// Render draws the histogram with proportional bars of at most width
+// characters.
+func (h *Histogram) Render(width int) string {
+	maxCount := 0
+	for _, c := range h.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	step := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&sb, "[%8.3g, %8.3g) %6d %s\n",
+			h.Lo+float64(i)*step, h.Lo+float64(i+1)*step, c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

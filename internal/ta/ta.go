@@ -1,0 +1,530 @@
+// Package ta implements a discrete-time timed-automata modeling framework
+// in the style of UPPAAL, specialised to the needs of the accelerated
+// heartbeat analysis.
+//
+// A Network is a parallel composition of automata over shared integer
+// variables and integer-valued clocks. Time advances in unit ticks: a delay
+// transition increments every (uncapped) clock by one and is enabled only
+// when no automaton occupies an urgent or committed location and every
+// location invariant still holds after the increment. Discrete transitions
+// are internal edges, binary handshakes (a! with a?), or broadcasts (a!
+// with every enabled a? receiver). Committed locations have priority over
+// everything and block time, as in UPPAAL.
+//
+// All constants in the heartbeat models are naturals, and the original
+// mCRL2 formalisation is itself discrete-time (explicit tick actions and
+// counting stopwatches), so exploring integer clock valuations — capped at
+// each clock's largest relevant constant — is exact for this model class.
+//
+// Because clocks are plain integers in the state vector, updates may
+// assign them arbitrarily (e.g. copying one clock into another), which the
+// channel models use to share a round-trip budget across the two legs of a
+// heartbeat exchange.
+package ta
+
+import "fmt"
+
+// LocKind classifies a location's urgency.
+type LocKind int
+
+// Location kinds. Urgent locations block delay transitions; committed
+// locations additionally get exclusive priority for the next discrete
+// transition.
+const (
+	Normal LocKind = iota
+	Urgent
+	Committed
+)
+
+// EdgeClass tags edges for the §6.1 receive-priority fix: when a network
+// has priorities enabled and any Deliver-class transition is enabled,
+// Timeout-class transitions are suppressed.
+type EdgeClass int
+
+// Edge classes.
+const (
+	// ClassDefault edges are unaffected by priorities.
+	ClassDefault EdgeClass = iota
+	// ClassDeliver marks message-delivery transitions.
+	ClassDeliver
+	// ClassTimeout marks timeout transitions (suppressed under priority
+	// when a delivery is enabled).
+	ClassTimeout
+)
+
+// State is a configuration of the network: one location per automaton plus
+// the flat clock and variable vectors. Clocks and variables share value
+// semantics; only clocks advance on delay transitions.
+type State struct {
+	Locs   []uint8
+	Clocks []int32
+	Vars   []int32
+}
+
+// Clone returns a deep copy.
+func (s *State) Clone() State {
+	return State{
+		Locs:   append([]uint8(nil), s.Locs...),
+		Clocks: append([]int32(nil), s.Clocks...),
+		Vars:   append([]int32(nil), s.Vars...),
+	}
+}
+
+// Key returns a compact encoding usable as a map key.
+func (s *State) Key() string {
+	buf := make([]byte, 0, len(s.Locs)+2*len(s.Clocks)+2*len(s.Vars))
+	buf = append(buf, s.Locs...)
+	for _, c := range s.Clocks {
+		buf = append(buf, byte(uint16(c)>>8), byte(uint16(c)))
+	}
+	for _, v := range s.Vars {
+		buf = append(buf, byte(uint16(v)>>8), byte(uint16(v)))
+	}
+	return string(buf)
+}
+
+// Guard is a predicate over a configuration; nil means true.
+type Guard func(s *State) bool
+
+// Update mutates a configuration; nil means no effect.
+type Update func(s *State)
+
+// ChanID identifies a synchronisation channel; zero means an internal
+// (tau) edge.
+type ChanID int
+
+// Location is a node of an automaton's control graph.
+type Location struct {
+	Name string
+	Kind LocKind
+	// Invariant must hold for time to pass while the automaton occupies
+	// this location: a delay is allowed only if the invariant still
+	// holds after all clocks advance. nil means no constraint.
+	Invariant Guard
+}
+
+// Edge is a transition of one automaton.
+type Edge struct {
+	From, To int
+	Guard    Guard
+	// Chan and Send select synchronisation: Chan == 0 is internal;
+	// otherwise Send distinguishes a! from a?.
+	Chan   ChanID
+	Send   bool
+	Update Update
+	// Label names the action for traces (the sending side's label wins
+	// for synchronisations).
+	Label string
+	Class EdgeClass
+}
+
+// Automaton is one component of the network.
+type Automaton struct {
+	Name      string
+	Locations []Location
+	Edges     []Edge
+	Init      int
+	index     int // position in the network
+}
+
+// Channel declares a synchronisation channel.
+type Channel struct {
+	Name      string
+	Broadcast bool
+}
+
+// Network is a parallel composition.
+type Network struct {
+	automata   []*Automaton
+	channels   []Channel // index 0 reserved (internal)
+	clockNames []string
+	clockCaps  []int32
+	varNames   []string
+	varInit    []int32
+	// priority enables the §6.1 receive-priority rule.
+	priority bool
+	// compiled edge indices, built lazily
+	compiled  bool
+	sendEdges map[ChanID][]edgeRef
+	recvEdges map[ChanID][]edgeRef
+}
+
+type edgeRef struct {
+	aut  int
+	edge int
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{channels: []Channel{{Name: "internal"}}}
+}
+
+// SetReceivePriority enables the §6.1 fix: whenever a ClassDeliver
+// transition is enabled AND due (its initiating automaton's invariant
+// blocks further delay), ClassTimeout transitions are suppressed until
+// the delivery (or a competing non-timeout move, such as a loss) happens.
+func (n *Network) SetReceivePriority(on bool) { n.priority = on }
+
+// Clock declares a clock with the given state-space cap: once a clock
+// reaches its cap it stops advancing, which is sound as long as every
+// guard and invariant mentioning it only distinguishes values below the
+// cap. Returns the clock's index.
+func (n *Network) Clock(name string, cap int32) int {
+	if cap < 1 {
+		panic(fmt.Sprintf("ta: clock %q needs a positive cap", name))
+	}
+	n.clockNames = append(n.clockNames, name)
+	n.clockCaps = append(n.clockCaps, cap)
+	return len(n.clockNames) - 1
+}
+
+// Var declares an integer variable with an initial value and returns its
+// index.
+func (n *Network) Var(name string, init int32) int {
+	n.varNames = append(n.varNames, name)
+	n.varInit = append(n.varInit, init)
+	return len(n.varNames) - 1
+}
+
+// Chan declares a synchronisation channel and returns its ID.
+func (n *Network) Chan(name string, broadcast bool) ChanID {
+	n.channels = append(n.channels, Channel{Name: name, Broadcast: broadcast})
+	return ChanID(len(n.channels) - 1)
+}
+
+// Add registers an automaton and returns it for edge/location population.
+func (n *Network) Add(a *Automaton) *Automaton {
+	a.index = len(n.automata)
+	n.automata = append(n.automata, a)
+	n.compiled = false
+	return a
+}
+
+// Automata returns the registered automata in composition order.
+func (n *Network) Automata() []*Automaton { return n.automata }
+
+// ClockName returns the declared name of clock i.
+func (n *Network) ClockName(i int) string { return n.clockNames[i] }
+
+// VarName returns the declared name of variable i.
+func (n *Network) VarName(i int) string { return n.varNames[i] }
+
+// NumClocks returns the number of declared clocks.
+func (n *Network) NumClocks() int { return len(n.clockNames) }
+
+// NumVars returns the number of declared variables.
+func (n *Network) NumVars() int { return len(n.varNames) }
+
+// LocationName resolves automaton aut's location loc.
+func (n *Network) LocationName(aut int, loc uint8) string {
+	return n.automata[aut].Locations[loc].Name
+}
+
+// LocationIndex finds the index of the named location in automaton aut,
+// or -1.
+func (n *Network) LocationIndex(aut *Automaton, name string) int {
+	for i, l := range aut.Locations {
+		if l.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Initial returns the initial configuration.
+func (n *Network) Initial() State {
+	s := State{
+		Locs:   make([]uint8, len(n.automata)),
+		Clocks: make([]int32, len(n.clockNames)),
+		Vars:   append([]int32(nil), n.varInit...),
+	}
+	for i, a := range n.automata {
+		s.Locs[i] = uint8(a.Init)
+	}
+	return s
+}
+
+// Transition is one outgoing move of a configuration.
+type Transition struct {
+	// Label is "tick" for delay transitions, otherwise the action label.
+	Label string
+	// Delay marks the delay (tick) transition.
+	Delay bool
+	// Class carries the edge class for priority filtering.
+	Class EdgeClass
+	// src is the initiating automaton (the sender for synchronisations),
+	// used to decide whether a delivery is due for priority filtering.
+	src int
+	// Target is the successor configuration.
+	Target State
+}
+
+// compile builds the channel-to-edge indices.
+func (n *Network) compile() {
+	if n.compiled {
+		return
+	}
+	n.sendEdges = make(map[ChanID][]edgeRef)
+	n.recvEdges = make(map[ChanID][]edgeRef)
+	for ai, a := range n.automata {
+		for ei, e := range a.Edges {
+			if e.Chan == 0 {
+				continue
+			}
+			if e.Send {
+				n.sendEdges[e.Chan] = append(n.sendEdges[e.Chan], edgeRef{ai, ei})
+			} else {
+				n.recvEdges[e.Chan] = append(n.recvEdges[e.Chan], edgeRef{ai, ei})
+			}
+		}
+	}
+	n.compiled = true
+}
+
+// enabled reports whether edge e of automaton a can fire in s (location
+// and guard only; synchronisation is the caller's concern).
+func (n *Network) enabled(s *State, a int, e *Edge) bool {
+	if int(s.Locs[a]) != e.From {
+		return false
+	}
+	return e.Guard == nil || e.Guard(s)
+}
+
+// committedActive returns the set of automata in committed locations, or
+// nil if none.
+func (n *Network) committedActive(s *State) []bool {
+	var mask []bool
+	for i, a := range n.automata {
+		if a.Locations[s.Locs[i]].Kind == Committed {
+			if mask == nil {
+				mask = make([]bool, len(n.automata))
+			}
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+// Successors appends all outgoing transitions of s to buf and returns it.
+func (n *Network) Successors(s *State, buf []Transition) []Transition {
+	n.compile()
+	committed := n.committedActive(s)
+	start := len(buf)
+
+	// Internal edges.
+	for ai, a := range n.automata {
+		for ei := range a.Edges {
+			e := &a.Edges[ei]
+			if e.Chan != 0 || !n.enabled(s, ai, e) {
+				continue
+			}
+			if committed != nil && !committed[ai] {
+				continue
+			}
+			t := s.Clone()
+			t.Locs[ai] = uint8(e.To)
+			if e.Update != nil {
+				e.Update(&t)
+			}
+			buf = append(buf, Transition{Label: e.Label, Class: e.Class, src: ai, Target: t})
+		}
+	}
+
+	// Handshakes and broadcasts.
+	for ch := ChanID(1); ch < ChanID(len(n.channels)); ch++ {
+		if n.channels[ch].Broadcast {
+			buf = n.broadcastSuccessors(s, ch, committed, buf)
+		} else {
+			buf = n.handshakeSuccessors(s, ch, committed, buf)
+		}
+	}
+
+	// Receive-priority (§6.1): if any delivery is due at this instant —
+	// enabled, and its channel cannot let time pass — it is processed
+	// before timeouts.
+	if n.priority {
+		buf = n.applyPriority(s, buf, start)
+	}
+
+	// Delay transition.
+	if t, ok := n.delay(s, committed); ok {
+		buf = append(buf, t)
+	}
+	return buf
+}
+
+// handshakeSuccessors pairs each enabled sender with each enabled receiver
+// in a different automaton.
+func (n *Network) handshakeSuccessors(s *State, ch ChanID, committed []bool, buf []Transition) []Transition {
+	for _, sr := range n.sendEdges[ch] {
+		se := &n.automata[sr.aut].Edges[sr.edge]
+		if !n.enabled(s, sr.aut, se) {
+			continue
+		}
+		for _, rr := range n.recvEdges[ch] {
+			if rr.aut == sr.aut {
+				continue
+			}
+			re := &n.automata[rr.aut].Edges[rr.edge]
+			if !n.enabled(s, rr.aut, re) {
+				continue
+			}
+			if committed != nil && !committed[sr.aut] && !committed[rr.aut] {
+				continue
+			}
+			t := s.Clone()
+			t.Locs[sr.aut] = uint8(se.To)
+			t.Locs[rr.aut] = uint8(re.To)
+			if se.Update != nil {
+				se.Update(&t)
+			}
+			if re.Update != nil {
+				re.Update(&t)
+			}
+			label := se.Label
+			if label == "" {
+				label = re.Label
+			}
+			class := se.Class
+			if re.Class != ClassDefault {
+				class = re.Class
+			}
+			buf = append(buf, Transition{Label: label, Class: class, src: sr.aut, Target: t})
+		}
+	}
+	return buf
+}
+
+// broadcastSuccessors fires each enabled sender together with every
+// enabled receiver (receivers never block a broadcast).
+func (n *Network) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf []Transition) []Transition {
+	for _, sr := range n.sendEdges[ch] {
+		se := &n.automata[sr.aut].Edges[sr.edge]
+		if !n.enabled(s, sr.aut, se) {
+			continue
+		}
+		// Collect at most one enabled receive edge per automaton. The
+		// heartbeat models never have two enabled receivers on the same
+		// broadcast channel in one automaton; the first (declaration
+		// order) wins, matching UPPAAL's deterministic model layout.
+		var receivers []edgeRef
+		seen := make(map[int]bool)
+		for _, rr := range n.recvEdges[ch] {
+			if rr.aut == sr.aut || seen[rr.aut] {
+				continue
+			}
+			re := &n.automata[rr.aut].Edges[rr.edge]
+			if n.enabled(s, rr.aut, re) {
+				receivers = append(receivers, rr)
+				seen[rr.aut] = true
+			}
+		}
+		if committed != nil && !committed[sr.aut] {
+			anyCommitted := false
+			for _, rr := range receivers {
+				if committed[rr.aut] {
+					anyCommitted = true
+					break
+				}
+			}
+			if !anyCommitted {
+				continue
+			}
+		}
+		t := s.Clone()
+		t.Locs[sr.aut] = uint8(se.To)
+		if se.Update != nil {
+			se.Update(&t)
+		}
+		class := se.Class
+		for _, rr := range receivers {
+			re := &n.automata[rr.aut].Edges[rr.edge]
+			t.Locs[rr.aut] = uint8(re.To)
+			if re.Update != nil {
+				re.Update(&t)
+			}
+			if re.Class != ClassDefault {
+				class = re.Class
+			}
+		}
+		buf = append(buf, Transition{Label: se.Label, Class: class, src: sr.aut, Target: t})
+	}
+	return buf
+}
+
+// delay computes the tick transition if time may pass.
+func (n *Network) delay(s *State, committed []bool) (Transition, bool) {
+	if committed != nil {
+		return Transition{}, false
+	}
+	for i, a := range n.automata {
+		if a.Locations[s.Locs[i]].Kind == Urgent {
+			return Transition{}, false
+		}
+	}
+	t := s.Clone()
+	for i := range t.Clocks {
+		if t.Clocks[i] < n.clockCaps[i] {
+			t.Clocks[i]++
+		}
+	}
+	for i, a := range n.automata {
+		inv := a.Locations[s.Locs[i]].Invariant
+		if inv != nil && !inv(&t) {
+			return Transition{}, false
+		}
+	}
+	return Transition{Label: "tick", Delay: true, Target: t}, true
+}
+
+// applyPriority implements the §6.1 fix: ClassTimeout transitions are
+// suppressed while some enabled ClassDeliver transition is DUE — its
+// initiating automaton (the channel) can no longer let time pass, so the
+// message is being offered at this very instant. A delivery that could
+// still wait does not pre-empt timeouts: the fix re-orders simultaneous
+// events, it does not shrink channel delays. Only entries from index
+// start on are considered.
+func (n *Network) applyPriority(s *State, buf []Transition, start int) []Transition {
+	anyDue := false
+	var mustMove []bool // lazily computed per initiating automaton
+	for _, t := range buf[start:] {
+		if t.Class != ClassDeliver {
+			continue
+		}
+		if mustMove == nil {
+			mustMove = n.mustMoveNow(s)
+		}
+		if mustMove[t.src] {
+			anyDue = true
+			break
+		}
+	}
+	if !anyDue {
+		return buf
+	}
+	out := buf[:start]
+	for _, t := range buf[start:] {
+		if t.Class != ClassTimeout {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// mustMoveNow reports, per automaton, whether its current location's
+// invariant would fail after one tick — i.e. the automaton must take a
+// discrete transition before time passes.
+func (n *Network) mustMoveNow(s *State) []bool {
+	t := s.Clone()
+	for i := range t.Clocks {
+		if t.Clocks[i] < n.clockCaps[i] {
+			t.Clocks[i]++
+		}
+	}
+	out := make([]bool, len(n.automata))
+	for i, a := range n.automata {
+		inv := a.Locations[s.Locs[i]].Invariant
+		out[i] = inv != nil && !inv(&t)
+	}
+	return out
+}

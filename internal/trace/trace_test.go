@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mc"
+)
+
+func sampleTrace() []mc.Step {
+	return []mc.Step{
+		{Label: "", Time: 0},
+		{Label: "p[0]: start", Time: 0},
+		{Label: "tick", Delay: true, Time: 1},
+		{Label: "timeout p[0]", Time: 10},
+		{Label: "p[0]: send beat", Time: 10},
+		{Label: "deliver beat to p[1]", Time: 11},
+		{Label: "p[1]: send beat", Time: 11},
+		{Label: "lose beat from p[1]", Time: 12},
+		{Label: "inactivate nv p[1]", Time: 30},
+	}
+}
+
+func TestEventsDropTicksAndInit(t *testing.T) {
+	evs := Events(sampleTrace())
+	if len(evs) != 7 {
+		t.Fatalf("events = %d, want 7", len(evs))
+	}
+	for _, e := range evs {
+		if e.Text == "tick" || e.Text == "" {
+			t.Fatalf("tick or empty survived: %+v", e)
+		}
+	}
+}
+
+func TestLaneClassification(t *testing.T) {
+	tests := []struct {
+		label string
+		lane  string
+	}{
+		{"p[0]: send beat", "p[0]"},
+		{"timeout p[0]", "p[0]"},
+		{"inactivate nv p[1]", "p[1]"},
+		{"crash p[2]", "p[2]"},
+		{"deliver beat to p[1]", ChannelLane},
+		{"lose join beat from p[2]", ChannelLane},
+		{"p[1] gives no reply", ChannelLane},
+		{"error R1 p[1]", "p[1]"},
+	}
+	for _, tt := range tests {
+		if got := laneOf(tt.label); got != tt.lane {
+			t.Errorf("laneOf(%q) = %q, want %q", tt.label, got, tt.lane)
+		}
+	}
+}
+
+func TestLanesOrdering(t *testing.T) {
+	evs := Events(sampleTrace())
+	lanes := Lanes(evs)
+	want := []string{"p[0]", "p[1]", ChannelLane}
+	if len(lanes) != len(want) {
+		t.Fatalf("lanes = %v", lanes)
+	}
+	for i := range want {
+		if lanes[i] != want[i] {
+			t.Fatalf("lanes = %v, want %v", lanes, want)
+		}
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "Figure X", sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure X") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "p[0]") || !strings.Contains(out, "channel") {
+		t.Fatalf("lanes missing:\n%s", out)
+	}
+	if !strings.Contains(out, "   30 ") {
+		t.Fatalf("timestamp missing:\n%s", out)
+	}
+	// Repeated timestamps are blanked for readability.
+	if strings.Count(out, "   10 ") != 1 {
+		t.Fatalf("timestamp 10 should appear once:\n%s", out)
+	}
+	// Each event row exists.
+	if !strings.Contains(out, "send beat") || !strings.Contains(out, "inactivate nv") {
+		t.Fatalf("events missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary(sampleTrace())
+	if !strings.Contains(s, "t=10") || !strings.Contains(s, "p[1]") {
+		t.Fatalf("summary = %q", s)
+	}
+	lines := strings.Count(s, "\n")
+	if lines != 7 {
+		t.Fatalf("summary lines = %d, want 7", lines)
+	}
+}
+
+func TestTextOfStripsPrefix(t *testing.T) {
+	if got := textOf("p[0]: send beat", "p[0]"); got != "send beat" {
+		t.Fatalf("textOf = %q", got)
+	}
+	if got := textOf("timeout p[0]", "p[0]"); got != "timeout p[0]" {
+		t.Fatalf("textOf = %q", got)
+	}
+}
