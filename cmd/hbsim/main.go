@@ -7,6 +7,8 @@
 //	hbsim -exp detection -trials 200
 //	hbsim -exp reliability -trials 400
 //	hbsim -exp all
+//	hbsim -faults 'crash t=200 node=1; restart t=800 node=1' -trials 50
+//	hbsim -faults campaign.txt
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/faults"
 	"repro/internal/netem"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -23,21 +26,33 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: overhead, detection, reliability or all")
-		trials = flag.Int("trials", 200, "Monte-Carlo trials per data point")
-		seed   = flag.Int64("seed", 1, "base random seed")
+		exp     = flag.String("exp", "all", "experiment: overhead, detection, reliability or all")
+		trials  = flag.Int("trials", 200, "Monte-Carlo trials per data point")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		sched   = flag.String("faults", "", "fault campaign: a schedule file path or an inline schedule (see internal/faults)")
+		horizon = flag.Int64("horizon", 5000, "virtual ticks per fault-campaign trial")
 	)
 	flag.Parse()
+	faultsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "faults" {
+			faultsSet = true
+		}
+	})
 
 	var err error
-	switch *exp {
-	case "overhead":
+	switch {
+	case faultsSet && *sched == "":
+		err = fmt.Errorf("-faults: empty schedule")
+	case *sched != "":
+		err = campaign(*sched, sim.Time(*horizon), *trials, *seed)
+	case *exp == "overhead":
 		err = overhead()
-	case "detection":
+	case *exp == "detection":
 		err = detection(*trials, *seed)
-	case "reliability":
+	case *exp == "reliability":
 		err = reliability(*trials, *seed)
-	case "all":
+	case *exp == "all":
 		if err = overhead(); err == nil {
 			if err = detection(*trials, *seed); err == nil {
 				err = reliability(*trials, *seed)
@@ -50,6 +65,66 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hbsim:", err)
 		os.Exit(1)
 	}
+}
+
+// campaign: replay a scripted fault schedule over a self-healing dynamic
+// cluster and report survival, healing effort and fault-layer counters.
+// The argument is a file path if one exists, otherwise an inline schedule.
+func campaign(arg string, horizon sim.Time, trials int, seed int64) error {
+	text := arg
+	if b, err := os.ReadFile(arg); err == nil {
+		text = string(b)
+	}
+	sched, err := faults.ParseSchedule(text)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunCampaign(scenario.CampaignConfig{
+		Cluster: detector.ClusterConfig{
+			Protocol:    detector.ProtocolDynamic,
+			Core:        core.Config{TMin: 2, TMax: 16},
+			N:           3,
+			AllowRejoin: true,
+		},
+		Schedule: sched,
+		Heal: &detector.SupervisorConfig{
+			CheckEvery: 8,
+			Backoff:    detector.Backoff{Base: 2, Max: 32, Jitter: 0.25},
+		},
+		Horizon: horizon,
+		Trials:  trials,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== fault campaign: dynamic protocol (tmin=2, tmax=16, n=3) + supervisor")
+	fmt.Println("   schedule:")
+	fmt.Print(indent(sched.Format(), "     "))
+	surv, _ := res.Survived.Value()
+	fmt.Printf("   survived at t=%d:  %.3f of %d trials\n", horizon, surv, trials)
+	fmt.Printf("   restarts/trial:    %s\n", res.Restarts.Describe())
+	fmt.Printf("   events/trial:      %s\n", res.Events.Describe())
+	fmt.Printf("   fault layer:       %+v\n", res.Faults)
+	if res.ScheduleErrors > 0 {
+		fmt.Printf("   WARNING: %d schedule events failed to apply (unknown node?)\n",
+			res.ScheduleErrors)
+	}
+	return nil
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out += prefix + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
 }
 
 func acceleratedCluster(tmin, tmax core.Tick) detector.ClusterConfig {

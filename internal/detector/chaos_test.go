@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/netem"
 	"repro/internal/sim"
 )
@@ -47,18 +48,23 @@ func TestPropertyNoFalseDetectionWithoutFaults(t *testing.T) {
 }
 
 // TestPropertyCrashAlwaysDetectedWithinBound: a single participant crash
-// at a random time is always detected within the corrected bound plus one
-// round-trip, for random constants, and the whole network then winds down.
+// at a random time — injected through a fault schedule — is always
+// detected within the corrected bound plus one round-trip, for random
+// constants, and the whole network then winds down.
 func TestPropertyCrashAlwaysDetectedWithinBound(t *testing.T) {
 	f := func(seed int64, a, b uint8, crashRaw uint16) bool {
 		tmin := core.Tick(a%8) + 1
 		tmax := tmin * (core.Tick(b%4) + 2)
+		crashAt := sim.Time(crashRaw%2000) + 1
 		cfg := ClusterConfig{
 			Protocol: ProtocolStatic,
 			Core:     core.Config{TMin: tmin, TMax: tmax},
 			N:        2,
 			Link:     netem.LinkConfig{MaxDelay: sim.Time(tmin) / 2},
 			Seed:     seed,
+			Faults: &faults.Schedule{Events: []faults.Event{
+				{At: crashAt, Kind: faults.KindCrash, Node: 1},
+			}},
 		}
 		c, err := NewCluster(cfg)
 		if err != nil {
@@ -67,9 +73,6 @@ func TestPropertyCrashAlwaysDetectedWithinBound(t *testing.T) {
 		if err := c.Start(); err != nil {
 			return false
 		}
-		crashAt := sim.Time(crashRaw%2000) + 1
-		c.Sim.RunUntil(crashAt)
-		c.Participants[1].Crash()
 		horizon := crashAt + sim.Time(cfg.Core.CoordinatorDetectionBound()+cfg.Core.TMin)
 		c.Sim.RunUntil(horizon)
 		ev, ok := c.FirstEvent(0, EventSuspect)
@@ -91,18 +94,22 @@ func TestPropertyCrashAlwaysDetectedWithinBound(t *testing.T) {
 }
 
 // TestPropertyCoordinatorCrashWindsDownEveryone: p[0]'s crash at a random
-// time inactivates every responder within its watchdog bound plus an
-// in-flight allowance.
+// time — injected through a fault schedule — inactivates every responder
+// within its watchdog bound plus an in-flight allowance.
 func TestPropertyCoordinatorCrashWindsDownEveryone(t *testing.T) {
 	f := func(seed int64, a, b uint8, crashRaw uint16, fixed bool) bool {
 		tmin := core.Tick(a%8) + 1
 		tmax := tmin * (core.Tick(b%4) + 2)
+		crashAt := sim.Time(crashRaw%2000) + 1
 		cfg := ClusterConfig{
 			Protocol: ProtocolStatic,
 			Core:     core.Config{TMin: tmin, TMax: tmax, Fixed: fixed},
 			N:        3,
 			Link:     netem.LinkConfig{MaxDelay: sim.Time(tmin) / 2},
 			Seed:     seed,
+			Faults: &faults.Schedule{Events: []faults.Event{
+				{At: crashAt, Kind: faults.KindCrash, Node: 0},
+			}},
 		}
 		c, err := NewCluster(cfg)
 		if err != nil {
@@ -111,9 +118,6 @@ func TestPropertyCoordinatorCrashWindsDownEveryone(t *testing.T) {
 		if err := c.Start(); err != nil {
 			return false
 		}
-		crashAt := sim.Time(crashRaw%2000) + 1
-		c.Sim.RunUntil(crashAt)
-		c.Coordinator.Crash()
 		c.Sim.RunUntil(crashAt + sim.Time(cfg.Core.ResponderBound()+cfg.Core.TMin) + 1)
 		for pid, n := range c.Participants {
 			if n.Status() == core.StatusActive {

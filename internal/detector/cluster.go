@@ -2,8 +2,10 @@ package detector
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/netem"
 	"repro/internal/sim"
 )
@@ -58,6 +60,16 @@ type ClusterConfig struct {
 	Seed int64
 	// AllowRejoin enables the rejoin extension (ProtocolDynamic only).
 	AllowRejoin bool
+	// Faults, if non-nil, wraps the network in a fault-injection layer
+	// and applies the schedule from virtual time 0 when Start is called.
+	// The fault layer's randomness is seeded from Faults.Seed, or Seed
+	// when that is zero. Every node then also gets its own driftable
+	// clock, addressable through schedule drift events.
+	Faults *faults.Schedule
+	// Heal, if non-nil, places every node under a Supervisor built from
+	// this config; the Clock and Events fields are filled in by the
+	// cluster (supervisor events land in Cluster.Events like all others).
+	Heal *SupervisorConfig
 }
 
 // Cluster is a simulated deployment of one protocol instance.
@@ -66,13 +78,33 @@ type Cluster struct {
 	Sim *sim.Simulator
 	// Net is the emulated network.
 	Net *netem.Network
+	// Transport is what the nodes actually send through: Faults when
+	// fault injection is configured, otherwise Net.
+	Transport netem.Transport
+	// Faults is the fault-injection layer (nil without cfg.Faults).
+	Faults *faults.FaultableTransport
+	// Supervisor is the self-healing layer (nil without cfg.Heal).
+	Supervisor *Supervisor
+	// Clocks holds the per-node driftable clocks (nil without cfg.Faults).
+	Clocks map[netem.NodeID]*faults.DriftClock
 	// Coordinator is p[0].
 	Coordinator *Node
 	// Participants maps process IDs (1..N) to their nodes.
 	Participants map[core.ProcID]*Node
 	// Events records every liveness event in emission order.
 	Events []Event
+
+	cfg          ClusterConfig
+	cancelFaults func()
+	faultErrMu   sync.Mutex
+	faultErrs    []error
 }
+
+// Compile-time wiring checks: a cluster is a complete fault-schedule target.
+var (
+	_ faults.NodeControl  = (*Cluster)(nil)
+	_ faults.ClockControl = (*Cluster)(nil)
+)
 
 // NewCluster builds and wires a cluster; Start must still be called.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
@@ -94,9 +126,38 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Sim:          s,
 		Net:          net,
 		Participants: make(map[core.ProcID]*Node, cfg.N),
+		cfg:          cfg,
 	}
-	clock := SimClock{Sim: s}
-	sink := EventFunc(func(e Event) { c.Events = append(c.Events, e) })
+	c.Transport = net
+	if cfg.Faults != nil {
+		seed := cfg.Faults.Seed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		c.Faults = faults.Wrap(net, netem.SimTicker{Sim: s}, seed)
+		c.Transport = c.Faults
+		c.Clocks = make(map[netem.NodeID]*faults.DriftClock, cfg.N+1)
+	}
+	sink := EventSink(EventFunc(func(e Event) { c.Events = append(c.Events, e) }))
+	if cfg.Heal != nil {
+		hc := *cfg.Heal
+		hc.Clock = SimClock{Sim: s}
+		hc.Events = sink
+		sup, err := NewSupervisor(hc)
+		if err != nil {
+			return nil, err
+		}
+		c.Supervisor = sup
+		sink = sup
+	}
+	clockFor := func(id netem.NodeID) Clock {
+		if c.Clocks == nil {
+			return SimClock{Sim: s}
+		}
+		dc := faults.NewDriftClock(SimClock{Sim: s})
+		c.Clocks[id] = dc
+		return dc
+	}
 
 	coordMachine, err := newCoordinatorMachine(cfg)
 	if err != nil {
@@ -105,8 +166,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.Coordinator, err = NewNode(Config{
 		ID:              netem.NodeID(core.CoordinatorID),
 		Machine:         coordMachine,
-		Clock:           clock,
-		Transport:       net,
+		Clock:           clockFor(netem.NodeID(core.CoordinatorID)),
+		Transport:       c.Transport,
 		Events:          sink,
 		ReceivePriority: cfg.Core.Fixed,
 	})
@@ -123,8 +184,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		node, err := NewNode(Config{
 			ID:              netem.NodeID(pid),
 			Machine:         machine,
-			Clock:           clock,
-			Transport:       net,
+			Clock:           clockFor(netem.NodeID(pid)),
+			Transport:       c.Transport,
 			Events:          sink,
 			ReceivePriority: cfg.Core.Fixed,
 		})
@@ -132,6 +193,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		c.Participants[pid] = node
+	}
+
+	if c.Supervisor != nil {
+		if err := c.Supervisor.Manage(c.Coordinator, func() (core.Machine, error) {
+			return newCoordinatorMachine(cfg)
+		}); err != nil {
+			return nil, err
+		}
+		for i := 1; i <= cfg.N; i++ {
+			pid := core.ProcID(i)
+			if err := c.Supervisor.Manage(c.Participants[pid], func() (core.Machine, error) {
+				return newParticipantMachine(cfg, pid)
+			}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return c, nil
 }
@@ -168,9 +245,27 @@ func newParticipantMachine(cfg ClusterConfig, pid core.ProcID) (core.Machine, er
 	}
 }
 
-// Start starts every node: the coordinator first, then participants in
-// ascending ID order, all at virtual time 0.
+// Start arms the fault schedule (if any) and starts every node: the
+// coordinator first, then participants in ascending ID order, all at
+// virtual time 0.
 func (c *Cluster) Start() error {
+	if c.cfg.Faults != nil {
+		cancel, err := c.cfg.Faults.Apply(netem.SimTicker{Sim: c.Sim}, faults.Target{
+			Transport: c.Faults,
+			Nodes:     c,
+			Clocks:    c,
+			OnError: func(e faults.Event, err error) {
+				c.faultErrMu.Lock()
+				defer c.faultErrMu.Unlock()
+				c.faultErrs = append(c.faultErrs,
+					fmt.Errorf("t=%d %s node=%d: %w", e.At, e.Kind, e.Node, err))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		c.cancelFaults = cancel
+	}
 	if err := c.Coordinator.Start(); err != nil {
 		return err
 	}
@@ -180,6 +275,76 @@ func (c *Cluster) Start() error {
 		}
 	}
 	return nil
+}
+
+// Stop disarms pending fault events and halts the supervisor, leaving the
+// nodes as they are. It is safe to call on a cluster without either.
+func (c *Cluster) Stop() {
+	if c.cancelFaults != nil {
+		c.cancelFaults()
+		c.cancelFaults = nil
+	}
+	if c.Supervisor != nil {
+		c.Supervisor.Stop()
+	}
+}
+
+// FaultErrors reports the schedule events that failed at fire time
+// (e.g. a crash naming a node the cluster does not have). A non-empty
+// result usually means the schedule does not do what its author thinks.
+func (c *Cluster) FaultErrors() []error {
+	c.faultErrMu.Lock()
+	defer c.faultErrMu.Unlock()
+	return append([]error(nil), c.faultErrs...)
+}
+
+// node resolves a transport ID to its Node.
+func (c *Cluster) node(id netem.NodeID) (*Node, error) {
+	if id == netem.NodeID(core.CoordinatorID) {
+		return c.Coordinator, nil
+	}
+	if n, ok := c.Participants[core.ProcID(id)]; ok {
+		return n, nil
+	}
+	return nil, fmt.Errorf("%w: no node %d in cluster", ErrNodeConfig, id)
+}
+
+// CrashNode implements faults.NodeControl.
+func (c *Cluster) CrashNode(id netem.NodeID) error {
+	n, err := c.node(id)
+	if err != nil {
+		return err
+	}
+	n.Crash()
+	return nil
+}
+
+// RestartNode implements faults.NodeControl: the node gets a fresh
+// machine of its configured role, as if the process image were relaunched.
+func (c *Cluster) RestartNode(id netem.NodeID) error {
+	n, err := c.node(id)
+	if err != nil {
+		return err
+	}
+	var m core.Machine
+	if id == netem.NodeID(core.CoordinatorID) {
+		m, err = newCoordinatorMachine(c.cfg)
+	} else {
+		m, err = newParticipantMachine(c.cfg, core.ProcID(id))
+	}
+	if err != nil {
+		return err
+	}
+	return n.Restart(m)
+}
+
+// SetDrift implements faults.ClockControl.
+func (c *Cluster) SetDrift(id netem.NodeID, num, den int64, skew core.Tick) error {
+	dc, ok := c.Clocks[id]
+	if !ok {
+		return fmt.Errorf("%w: node %d has no driftable clock (fault injection off?)", ErrNodeConfig, id)
+	}
+	return dc.SetDrift(num, den, skew)
 }
 
 // AllInactiveBy reports whether every node has stopped participating

@@ -93,6 +93,16 @@ const (
 	EventJoined
 	// EventLeft: a dynamic participant completed a graceful leave.
 	EventLeft
+	// EventDown: a Supervisor confirmed a suspected peer as down after
+	// the confirmation window elapsed with no contradicting evidence.
+	EventDown
+	// EventRestarted: a Supervisor restarted the node with a fresh
+	// machine.
+	EventRestarted
+	// EventPanic: a handler panic on the node was recovered.
+	EventPanic
+	// EventGaveUp: the Supervisor exhausted the node's restart budget.
+	EventGaveUp
 )
 
 // String implements fmt.Stringer.
@@ -106,6 +116,14 @@ func (k EventKind) String() string {
 		return "joined"
 	case EventLeft:
 		return "left"
+	case EventDown:
+		return "down"
+	case EventRestarted:
+		return "restarted"
+	case EventPanic:
+		return "panic"
+	case EventGaveUp:
+		return "gave-up"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -158,11 +176,12 @@ type Config struct {
 
 // Node runs one protocol machine. All methods are safe for concurrent use.
 type Node struct {
-	mu      sync.Mutex
-	cfg     Config
-	timers  map[core.TimerID]func() // pending cancels
-	seq     map[core.TimerID]uint64 // generation guard against stale fires
-	started bool
+	mu        sync.Mutex
+	cfg       Config
+	timers    map[core.TimerID]func() // pending cancels
+	seq       map[core.TimerID]uint64 // generation guard against stale fires
+	started   bool
+	recoverFn func(id netem.NodeID, op string, recovered any)
 }
 
 // ErrNodeConfig reports an invalid node configuration.
@@ -192,6 +211,69 @@ func (n *Node) Status() core.Status {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.cfg.Machine.Status()
+}
+
+// Machine returns the node's current protocol machine. After a Restart
+// this is the replacement machine, not the one the node was built with.
+func (n *Node) Machine() core.Machine {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Machine
+}
+
+// SetRecover installs a handler for panics escaping the protocol machine.
+// With a handler installed, a panic in OnBeat/OnTimer is recovered, the
+// node's remaining state is left as the machine last wrote it (possibly
+// corrupt — the handler should arrange a Restart), and the handler is
+// called outside the node's lock. Without a handler panics propagate, as
+// before.
+func (n *Node) SetRecover(fn func(id netem.NodeID, op string, recovered any)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.recoverFn = fn
+}
+
+// Restart replaces the node's machine with m and starts it, cancelling
+// every pending timer and invalidating in-flight timer callbacks of the
+// old machine. It is the self-healing path: a crashed, wedged, or
+// protocol-inactivated node re-enters the protocol as a fresh process
+// (for the dynamic protocol, the fresh machine solicits a join, which the
+// coordinator treats like any joiner). The node keeps its transport
+// registration.
+func (n *Node) Restart(m core.Machine) error {
+	if m == nil {
+		return fmt.Errorf("%w: restart needs a machine", ErrNodeConfig)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id, cancel := range n.timers {
+		cancel()
+		delete(n.timers, id)
+	}
+	for id := range n.seq {
+		n.seq[id]++ // strand any fire already past its cancel
+	}
+	n.cfg.Machine = m
+	n.started = true
+	n.apply(m.Start(n.cfg.Clock.Now()))
+	return nil
+}
+
+// runGuarded calls fn and applies its actions; callers hold n.mu. When a
+// recover handler is installed, a panic from the machine (or from applying
+// its actions) is captured and returned instead of propagating; otherwise
+// it propagates unchanged.
+func (n *Node) runGuarded(fn func() []core.Action) (recovered any) {
+	defer func() {
+		if r := recover(); r != nil {
+			if n.recoverFn == nil {
+				panic(r)
+			}
+			recovered = r
+		}
+	}()
+	n.apply(fn())
+	return nil
 }
 
 // Start delivers Start to the machine. It must be called exactly once.
@@ -254,8 +336,14 @@ func (n *Node) onMessage(msg netem.Message) {
 		return // garbage on the wire is dropped, like a lost message
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.apply(n.cfg.Machine.OnBeat(beat, n.cfg.Clock.Now()))
+	rec := n.runGuarded(func() []core.Action {
+		return n.cfg.Machine.OnBeat(beat, n.cfg.Clock.Now())
+	})
+	h := n.recoverFn
+	n.mu.Unlock()
+	if rec != nil {
+		h(n.cfg.ID, "beat", rec)
+	}
 }
 
 // onTimer is the timer callback for generation gen of timer id.
@@ -280,12 +368,19 @@ func (n *Node) onTimer(id core.TimerID, gen uint64) {
 
 func (n *Node) fireTimer(id core.TimerID, gen uint64) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.seq[id] != gen {
+		n.mu.Unlock()
 		return
 	}
 	delete(n.timers, id)
-	n.apply(n.cfg.Machine.OnTimer(id, n.cfg.Clock.Now()))
+	rec := n.runGuarded(func() []core.Action {
+		return n.cfg.Machine.OnTimer(id, n.cfg.Clock.Now())
+	})
+	h := n.recoverFn
+	n.mu.Unlock()
+	if rec != nil {
+		h(n.cfg.ID, "timer", rec)
+	}
 }
 
 // apply executes the machine's actions. Callers hold n.mu.

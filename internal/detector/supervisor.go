@@ -1,0 +1,455 @@
+package detector
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+)
+
+// Backoff bounds the pacing of supervisor restarts: exponential growth
+// from Base, capped at Max, plus an optional random jitter fraction so
+// that simultaneously failed nodes do not thunder back in lockstep.
+type Backoff struct {
+	// Base is the delay before the first restart, in ticks (default 1).
+	Base core.Tick
+	// Max caps the exponential growth (default 64·Base).
+	Max core.Tick
+	// Jitter in [0,1] adds a uniform extra delay of up to Jitter·delay.
+	Jitter float64
+}
+
+func (b Backoff) delay(attempt int, rng *rand.Rand) core.Tick {
+	base := b.Base
+	if base <= 0 {
+		base = 1
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 64 * base
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if b.Jitter > 0 {
+		d += core.Tick(float64(d) * b.Jitter * rng.Float64())
+	}
+	return d
+}
+
+// PeerState is the supervisor's graded opinion of a peer process —
+// the degraded-mode distinction between a timing wobble and a confirmed
+// failure.
+type PeerState int
+
+// Peer states.
+const (
+	// PeerHealthy: no outstanding suspicion.
+	PeerHealthy PeerState = iota
+	// PeerSuspected: some node's waiting time for the peer decayed below
+	// tmin, but the confirmation window has not elapsed.
+	PeerSuspected
+	// PeerDown: the suspicion outlived the confirmation window.
+	PeerDown
+)
+
+// String implements fmt.Stringer.
+func (s PeerState) String() string {
+	switch s {
+	case PeerHealthy:
+		return "healthy"
+	case PeerSuspected:
+		return "suspected"
+	case PeerDown:
+		return "down"
+	default:
+		return fmt.Sprintf("PeerState(%d)", int(s))
+	}
+}
+
+// SupervisorConfig assembles a Supervisor.
+type SupervisorConfig struct {
+	// Clock drives health polls, backoff waits and confirmation windows.
+	Clock Clock
+	// Events, if non-nil, receives both the node events routed through
+	// the supervisor and the supervisor's own events (EventDown,
+	// EventRestarted, EventPanic, EventGaveUp).
+	Events EventSink
+	// Backoff paces restarts.
+	Backoff Backoff
+	// MaxRestarts bounds restarts per node; <= 0 means unlimited.
+	MaxRestarts int
+	// CheckEvery is the health-poll period in ticks (default 8).
+	CheckEvery core.Tick
+	// ConfirmAfter is how long a suspicion must persist before the peer
+	// is confirmed down and EventDown fires; 0 confirms immediately.
+	ConfirmAfter core.Tick
+	// RestartCrashed also restarts voluntarily crashed nodes. By default
+	// only protocol-forced inactivations and recovered panics heal: a
+	// voluntary crash is an operator action (or a scripted fault whose
+	// restart is likewise scripted).
+	RestartCrashed bool
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+// supervised is the per-node bookkeeping.
+type supervised struct {
+	node     *Node
+	factory  func() (core.Machine, error)
+	restarts int
+	pending  bool // a restart is scheduled
+	wedged   bool // a panic was recovered; machine state is suspect
+	gaveUp   bool
+}
+
+// Supervisor is the self-healing layer over a set of Nodes: it recovers
+// handler panics, restarts crashed or wedged nodes with bounded
+// exponential backoff plus jitter, and grades peers from suspected to
+// confirmed-down before notifying the application. It runs identically
+// over SimClock (deterministic, single-threaded) and WallClock
+// (concurrent); all methods are safe for concurrent use.
+//
+// Lock discipline: the supervisor never calls into a Node while holding
+// its own lock, because nodes deliver events into HandleEvent while
+// holding theirs.
+type Supervisor struct {
+	mu       sync.Mutex
+	cfg      SupervisorConfig
+	rng      *rand.Rand
+	nodes    map[netem.NodeID]*supervised
+	peers    map[core.ProcID]PeerState
+	peerGen  map[core.ProcID]uint64
+	polling  bool
+	stopped  bool
+	timers   map[uint64]func() // pending cancels, keyed by timerSeq
+	timerSeq uint64
+}
+
+// NewSupervisor builds a supervisor; nodes are attached with Manage.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("%w: supervisor needs a clock", ErrNodeConfig)
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 8
+	}
+	return &Supervisor{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make(map[netem.NodeID]*supervised),
+		peers:   make(map[core.ProcID]PeerState),
+		peerGen: make(map[core.ProcID]uint64),
+		timers:  make(map[uint64]func()),
+	}, nil
+}
+
+// Manage places a node under supervision. factory builds the replacement
+// machine for each restart; a nil factory disables restarts for this node
+// (panics are still recovered and reported). The first Manage call starts
+// the health-poll loop.
+func (s *Supervisor) Manage(n *Node, factory func() (core.Machine, error)) error {
+	if n == nil {
+		return fmt.Errorf("%w: supervisor needs a node", ErrNodeConfig)
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: supervisor stopped", ErrNodeConfig)
+	}
+	if _, ok := s.nodes[n.ID()]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: node %d already supervised", ErrNodeConfig, n.ID())
+	}
+	s.nodes[n.ID()] = &supervised{node: n, factory: factory}
+	startPoll := !s.polling
+	s.polling = true
+	s.mu.Unlock()
+
+	n.SetRecover(s.onPanic)
+	if startPoll {
+		s.armPoll()
+	}
+	return nil
+}
+
+// Stop halts polling and cancels scheduled restarts and confirmations.
+// Managed nodes keep running; they are just no longer healed.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	cancels := make([]func(), 0, len(s.timers))
+	for _, c := range s.timers {
+		cancels = append(cancels, c)
+	}
+	s.timers = make(map[uint64]func())
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Restarts reports how many times a node has been restarted.
+func (s *Supervisor) Restarts(id netem.NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn, ok := s.nodes[id]; ok {
+		return sn.restarts
+	}
+	return 0
+}
+
+// PeerState reports the supervisor's current opinion of a peer process.
+func (s *Supervisor) PeerState(p core.ProcID) PeerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peers[p]
+}
+
+// after arms a timer that Stop cancels and that forgets itself on firing,
+// so a long-lived supervisor does not accumulate dead cancel funcs.
+func (s *Supervisor) after(d core.Tick, fn func()) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	id := s.timerSeq
+	s.timerSeq++
+	s.timers[id] = func() {} // placeholder until the clock hands us a cancel
+	s.mu.Unlock()
+
+	cancel := s.cfg.Clock.After(d, func() {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		delete(s.timers, id)
+		s.mu.Unlock()
+		fn()
+	})
+
+	s.mu.Lock()
+	if _, live := s.timers[id]; live {
+		s.timers[id] = cancel
+		s.mu.Unlock()
+		return
+	}
+	// The timer already fired (tiny wall-clock delay) or Stop cleared it;
+	// either way the map entry is gone and cancel is a no-op or due.
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		cancel()
+	}
+}
+
+func (s *Supervisor) armPoll() {
+	s.after(s.cfg.CheckEvery, s.poll)
+}
+
+// poll is the periodic health check: protocol-inactivated (and, if
+// configured, crashed) or wedged nodes get a restart scheduled.
+func (s *Supervisor) poll() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	type probe struct {
+		id netem.NodeID
+		sn *supervised
+	}
+	probes := make([]probe, 0, len(s.nodes))
+	for id, sn := range s.nodes {
+		probes = append(probes, probe{id, sn})
+	}
+	s.mu.Unlock()
+	// Probe in a stable order: restart scheduling draws from the jitter
+	// rng and arms same-tick timers, so map order would leak into the
+	// replay trace.
+	sort.Slice(probes, func(i, j int) bool { return probes[i].id < probes[j].id })
+
+	for _, p := range probes {
+		status := p.sn.node.Status()
+		s.mu.Lock()
+		wedged := p.sn.wedged
+		s.mu.Unlock()
+		needsRestart := wedged ||
+			status == core.StatusInactive ||
+			(status == core.StatusCrashed && s.cfg.RestartCrashed)
+		if needsRestart {
+			s.scheduleRestart(p.id)
+		}
+	}
+	s.armPoll()
+}
+
+// onPanic is the node recover handler: report, mark wedged, heal. The
+// panic value and operation are deliberately not rethrown — the whole
+// point of supervision is to turn them into a restart.
+func (s *Supervisor) onPanic(id netem.NodeID, _ string, _ any) {
+	s.mu.Lock()
+	sn, ok := s.nodes[id]
+	if ok {
+		sn.wedged = true
+	}
+	s.mu.Unlock()
+	s.emit(Event{Time: s.cfg.Clock.Now(), Node: id, Kind: EventPanic})
+	if ok {
+		s.scheduleRestart(id)
+	}
+}
+
+// scheduleRestart arms a backoff-delayed restart for the node unless one
+// is already pending or the budget is exhausted.
+func (s *Supervisor) scheduleRestart(id netem.NodeID) {
+	s.mu.Lock()
+	sn, ok := s.nodes[id]
+	if !ok || sn.pending || sn.gaveUp || sn.factory == nil {
+		s.mu.Unlock()
+		return
+	}
+	if s.cfg.MaxRestarts > 0 && sn.restarts >= s.cfg.MaxRestarts {
+		sn.gaveUp = true
+		s.mu.Unlock()
+		s.emit(Event{Time: s.cfg.Clock.Now(), Node: id, Kind: EventGaveUp})
+		return
+	}
+	sn.pending = true
+	d := s.cfg.Backoff.delay(sn.restarts, s.rng)
+	s.mu.Unlock()
+	s.after(d, func() { s.restartNow(id) })
+}
+
+// restartNow builds the replacement machine and swaps it in.
+func (s *Supervisor) restartNow(id netem.NodeID) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	sn, ok := s.nodes[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	factory := sn.factory
+	s.mu.Unlock()
+
+	m, err := factory()
+	var restartErr error
+	if err != nil {
+		restartErr = err
+	} else {
+		restartErr = sn.node.Restart(m)
+	}
+
+	s.mu.Lock()
+	sn.pending = false
+	sn.restarts++
+	if restartErr == nil {
+		sn.wedged = false
+		// A restarted process is a fresh incarnation; forget old
+		// suspicions about it.
+		proc := core.ProcID(id)
+		delete(s.peers, proc)
+		s.peerGen[proc]++
+	}
+	s.mu.Unlock()
+
+	if restartErr != nil {
+		// The factory or swap failed (e.g. a transient bind error under a
+		// real transport): try again with grown backoff.
+		s.scheduleRestart(id)
+		return
+	}
+	s.emit(Event{Time: s.cfg.Clock.Now(), Node: id, Kind: EventRestarted})
+}
+
+// HandleEvent implements EventSink. Install the supervisor as the Events
+// sink of its managed nodes: it grades peer suspicions into confirmed
+// downs and forwards everything — suspicions immediately (degraded mode),
+// EventDown only after the confirmation window — to the configured sink.
+func (s *Supervisor) HandleEvent(e Event) {
+	s.emit(e)
+	switch e.Kind {
+	case EventSuspect:
+		s.noteSuspect(e)
+	case EventJoined:
+		// The node itself (re)joined: it is alive, clear opinions of it.
+		s.clearPeer(core.ProcID(e.Node))
+	}
+}
+
+func (s *Supervisor) noteSuspect(e Event) {
+	s.mu.Lock()
+	if s.peers[e.Proc] != PeerHealthy {
+		s.mu.Unlock()
+		return // already suspected or down
+	}
+	s.peers[e.Proc] = PeerSuspected
+	s.peerGen[e.Proc]++
+	gen := s.peerGen[e.Proc]
+	wait := s.cfg.ConfirmAfter
+	s.mu.Unlock()
+	if wait <= 0 {
+		s.confirmDown(e, gen)
+		return
+	}
+	s.after(wait, func() { s.confirmDown(e, gen) })
+}
+
+func (s *Supervisor) confirmDown(e Event, gen uint64) {
+	s.mu.Lock()
+	if s.stopped || s.peerGen[e.Proc] != gen || s.peers[e.Proc] != PeerSuspected {
+		s.mu.Unlock()
+		return // contradicted (rejoin/restart) in the meantime
+	}
+	s.peers[e.Proc] = PeerDown
+	s.mu.Unlock()
+	s.emit(Event{Time: s.cfg.Clock.Now(), Node: e.Node, Kind: EventDown, Proc: e.Proc})
+}
+
+func (s *Supervisor) clearPeer(p core.ProcID) {
+	s.mu.Lock()
+	delete(s.peers, p)
+	s.peerGen[p]++
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) emit(e Event) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.HandleEvent(e)
+	}
+}
+
+// Retry runs op up to attempts times, sleeping base, 2·base, 4·base, …
+// (wall-clock) between failures. It is the remedy for transient UDP
+// bind/send errors — a socket still in TIME_WAIT, a momentarily full
+// buffer — and is therefore wall-clock by design; do not call it under a
+// simulated clock.
+func Retry(attempts int, base time.Duration, op func() error) error {
+	if attempts < 1 {
+		return fmt.Errorf("%w: retry needs at least one attempt", ErrNodeConfig)
+	}
+	var err error
+	for k := 0; k < attempts; k++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if k < attempts-1 {
+			time.Sleep(base << k)
+		}
+	}
+	return fmt.Errorf("detector: %d attempts failed: %w", attempts, err)
+}

@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Clock is the tick-scheduling interface the drift wrapper needs; it is
+// structurally identical to detector.Clock, restated here so the fault
+// layer does not depend on the runtime package.
+type Clock interface {
+	Now() core.Tick
+	After(d core.Tick, fn func()) (cancel func())
+}
+
+// DriftClock wraps a Clock and skews it: the local clock advances Num
+// local ticks per Den real ticks, plus any accumulated skew jumps. A rate
+// above 1 models a fast clock (its timers fire early in real terms); below
+// 1, a slow one. Rate changes are anchored at the moment of the change so
+// local time never jumps backwards from a rate change alone.
+//
+// The arithmetic is integer-only, so drifting clocks stay deterministic
+// under the simulator. DriftClock is safe for concurrent use when the
+// wrapped clock is.
+type DriftClock struct {
+	mu          sync.Mutex
+	inner       Clock
+	num, den    int64
+	anchorReal  core.Tick // inner time of the last rate change
+	anchorLocal core.Tick // local time at that moment
+}
+
+// NewDriftClock wraps inner with an initially undrifted (rate 1/1, skew 0)
+// clock.
+func NewDriftClock(inner Clock) *DriftClock {
+	return &DriftClock{inner: inner, num: 1, den: 1}
+}
+
+// SetDrift changes the rate to num/den local ticks per real tick and jumps
+// local time forward by skew ticks. It returns an error for non-positive
+// rate components.
+func (c *DriftClock) SetDrift(num, den int64, skew core.Tick) error {
+	if num <= 0 || den <= 0 {
+		return fmt.Errorf("%w: drift rate %d/%d must be positive", ErrSchedule, num, den)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.inner.Now()
+	c.anchorLocal = c.localAt(now) + skew
+	c.anchorReal = now
+	c.num, c.den = num, den
+	return nil
+}
+
+// localAt maps an inner time to local time. Callers hold c.mu.
+func (c *DriftClock) localAt(real core.Tick) core.Tick {
+	return c.anchorLocal + core.Tick(int64(real-c.anchorReal)*c.num/c.den)
+}
+
+// Now returns the drifted local time.
+func (c *DriftClock) Now() core.Tick {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.localAt(c.inner.Now())
+}
+
+// After schedules fn after d local ticks, which is d·den/num real ticks
+// (rounded up, so a timer never fires locally early).
+func (c *DriftClock) After(d core.Tick, fn func()) (cancel func()) {
+	c.mu.Lock()
+	num, den := c.num, c.den
+	c.mu.Unlock()
+	real := (int64(d)*den + num - 1) / num
+	return c.inner.After(core.Tick(real), fn)
+}

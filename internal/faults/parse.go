@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// ParseSchedule parses the textual fault-schedule format used by scenario
+// files and hbsim's -faults flag. Directives are separated by newlines or
+// semicolons; '#' starts a comment. Each directive is a kind followed by
+// key=value fields (and the bare flag "all" for loss):
+//
+//	seed 42
+//	loss      t=0 all pgb=0.05 pbg=0.5 lg=0 lb=0.9   # Gilbert–Elliott
+//	loss      t=0 from=1 to=0 pgb=0.1 pbg=0.5 lb=1
+//	crash     t=100 node=1
+//	restart   t=400 node=1
+//	partition t=200 node=2
+//	heal      t=400 node=2
+//	linkdown  t=50 from=1 to=0
+//	linkup    t=80 from=1 to=0
+//	dup       t=0 prob=0.05
+//	reorder   t=0 prob=0.1 maxdelay=3
+//	drift     t=0 node=2 rate=102/100 skew=5
+//
+// Omitted Gilbert–Elliott fields default to zero, matching the struct.
+func ParseSchedule(text string) (*Schedule, error) {
+	s := &Schedule{}
+	lines := strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' })
+	for li, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		kindWord, args := strings.ToLower(fields[0]), fields[1:]
+		if kindWord == "seed" {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("%w: line %d: seed takes one value", ErrSchedule, li+1)
+			}
+			v, err := strconv.ParseInt(args[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad seed %q", ErrSchedule, li+1, args[0])
+			}
+			s.Seed = v
+			continue
+		}
+		ev, err := parseEvent(kindWord, args)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", li+1, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+var kindNames = map[string]Kind{
+	"crash":     KindCrash,
+	"restart":   KindRestart,
+	"partition": KindPartition,
+	"heal":      KindHeal,
+	"linkdown":  KindLinkDown,
+	"linkup":    KindLinkUp,
+	"loss":      KindLoss,
+	"dup":       KindDup,
+	"reorder":   KindReorder,
+	"drift":     KindDrift,
+}
+
+func parseEvent(kindWord string, args []string) (Event, error) {
+	kind, ok := kindNames[kindWord]
+	if !ok {
+		return Event{}, fmt.Errorf("%w: unknown directive %q", ErrSchedule, kindWord)
+	}
+	ev := Event{Kind: kind, At: -1, Num: 1, Den: 1}
+	var ge GilbertElliott
+	var haveGE bool
+	for _, arg := range args {
+		if strings.EqualFold(arg, "all") {
+			ev.AllLinks = true
+			continue
+		}
+		key, val, found := strings.Cut(arg, "=")
+		if !found {
+			return Event{}, fmt.Errorf("%w: expected key=value, got %q", ErrSchedule, arg)
+		}
+		key = strings.ToLower(key)
+		switch key {
+		case "t", "at":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad time %q", ErrSchedule, val)
+			}
+			ev.At = sim.Time(v)
+		case "node":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad node %q", ErrSchedule, val)
+			}
+			ev.Node = netem.NodeID(v)
+		case "from", "to":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad %s %q", ErrSchedule, key, val)
+			}
+			if key == "from" {
+				ev.From = netem.NodeID(v)
+			} else {
+				ev.To = netem.NodeID(v)
+			}
+		case "prob":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad probability %q", ErrSchedule, val)
+			}
+			ev.Prob = v
+		case "maxdelay":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad maxdelay %q", ErrSchedule, val)
+			}
+			ev.MaxDelay = sim.Time(v)
+		case "pgb", "pbg", "lg", "lb":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad %s %q", ErrSchedule, key, val)
+			}
+			haveGE = true
+			switch key {
+			case "pgb":
+				ge.PGoodBad = v
+			case "pbg":
+				ge.PBadGood = v
+			case "lg":
+				ge.LossGood = v
+			case "lb":
+				ge.LossBad = v
+			}
+		case "rate":
+			num, den, found := strings.Cut(val, "/")
+			if !found {
+				den = "1"
+			}
+			n, err1 := strconv.ParseInt(num, 10, 64)
+			d, err2 := strconv.ParseInt(den, 10, 64)
+			if err1 != nil || err2 != nil {
+				return Event{}, fmt.Errorf("%w: bad rate %q", ErrSchedule, val)
+			}
+			ev.Num, ev.Den = n, d
+		case "skew":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad skew %q", ErrSchedule, val)
+			}
+			ev.Skew = core.Tick(v)
+		default:
+			return Event{}, fmt.Errorf("%w: unknown field %q", ErrSchedule, key)
+		}
+	}
+	if ev.At < 0 {
+		return Event{}, fmt.Errorf("%w: %s needs t=<time>", ErrSchedule, kindWord)
+	}
+	if kind == KindLoss && haveGE {
+		ev.GE = &ge
+	}
+	return ev, nil
+}
+
+// Format renders the schedule back to the textual form ParseSchedule
+// accepts, for logging and round-trip tests.
+func (s *Schedule) Format() string {
+	var b strings.Builder
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	}
+	for _, e := range s.Events {
+		name := e.Kind.String()
+		fmt.Fprintf(&b, "%s t=%d", name, e.At)
+		switch e.Kind {
+		case KindCrash, KindRestart, KindPartition, KindHeal:
+			fmt.Fprintf(&b, " node=%d", e.Node)
+		case KindLinkDown, KindLinkUp:
+			fmt.Fprintf(&b, " from=%d to=%d", e.From, e.To)
+		case KindLoss:
+			if e.AllLinks {
+				b.WriteString(" all")
+			} else {
+				fmt.Fprintf(&b, " from=%d to=%d", e.From, e.To)
+			}
+			if e.GE != nil {
+				fmt.Fprintf(&b, " pgb=%g pbg=%g lg=%g lb=%g",
+					e.GE.PGoodBad, e.GE.PBadGood, e.GE.LossGood, e.GE.LossBad)
+			}
+		case KindDup:
+			fmt.Fprintf(&b, " prob=%g", e.Prob)
+		case KindReorder:
+			fmt.Fprintf(&b, " prob=%g maxdelay=%d", e.Prob, e.MaxDelay)
+		case KindDrift:
+			fmt.Fprintf(&b, " node=%d rate=%d/%d skew=%d", e.Node, e.Num, e.Den, e.Skew)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseSchedule(t *testing.T) {
+	text := `
+# a full campaign
+seed 42
+loss      t=0 all pgb=0.05 pbg=0.5 lb=0.9
+crash     t=100 node=1
+restart   t=400 node=1
+partition t=200 node=2; heal t=400 node=2
+linkdown  t=50 from=1 to=0
+linkup    t=80 from=1 to=0
+dup       t=0 prob=0.05
+reorder   t=0 prob=0.1 maxdelay=3
+drift     t=0 node=2 rate=102/100 skew=5
+`
+	s, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 {
+		t.Fatalf("seed = %d", s.Seed)
+	}
+	if len(s.Events) != 10 {
+		t.Fatalf("parsed %d events, want 10: %+v", len(s.Events), s.Events)
+	}
+	loss := s.Events[0]
+	if loss.Kind != KindLoss || !loss.AllLinks || loss.GE == nil ||
+		loss.GE.PGoodBad != 0.05 || loss.GE.PBadGood != 0.5 || loss.GE.LossBad != 0.9 {
+		t.Fatalf("loss event = %+v", loss)
+	}
+	if e := s.Events[1]; e.Kind != KindCrash || e.At != 100 || e.Node != 1 {
+		t.Fatalf("crash event = %+v", e)
+	}
+	if e := s.Events[3]; e.Kind != KindPartition || e.At != 200 || e.Node != 2 {
+		t.Fatalf("partition event = %+v", e)
+	}
+	if e := s.Events[9]; e.Kind != KindDrift || e.Num != 102 || e.Den != 100 || e.Skew != 5 {
+		t.Fatalf("drift event = %+v", e)
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	text := "seed 7\ncrash t=10 node=3\nloss t=0 all pgb=0.1 pbg=0.5 lg=0 lb=1\nreorder t=5 prob=0.2 maxdelay=4\n"
+	s, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSchedule(s.Format())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", s.Format(), err)
+	}
+	if again.Format() != s.Format() {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", s.Format(), again.Format())
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, text := range []string{
+		"explode t=1",               // unknown directive
+		"crash node=1",              // missing time
+		"crash t=x node=1",          // bad time
+		"dup t=0 prob=nope",         // bad float
+		"crash t=0 node=1 x=2",      // unknown field
+		"drift t=0 node=1 rate=0/0", // zero rate
+		"seed",                      // missing value
+		"reorder t=0 prob=0.5",      // missing maxdelay
+	} {
+		if _, err := ParseSchedule(text); !errors.Is(err, ErrSchedule) {
+			t.Errorf("ParseSchedule(%q) = %v, want ErrSchedule", text, err)
+		}
+	}
+}
+
+func TestDriftClock(t *testing.T) {
+	fc := &fakeClock{}
+	dc := NewDriftClock(fc)
+	if dc.Now() != 0 {
+		t.Fatalf("fresh drift clock at %d", dc.Now())
+	}
+	fc.now = 100
+	if dc.Now() != 100 {
+		t.Fatalf("rate 1/1 clock at %d, want 100", dc.Now())
+	}
+	// Double speed from t=100: local = 100 + 2*(real-100).
+	if err := dc.SetDrift(2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	fc.now = 110
+	if got := dc.Now(); got != 120 {
+		t.Fatalf("fast clock at %d, want 120", got)
+	}
+	// A 10-local-tick timer needs only 5 real ticks.
+	dc.After(10, func() {})
+	if fc.lastAfter != 5 {
+		t.Fatalf("After(10) scheduled %d real ticks, want 5", fc.lastAfter)
+	}
+	// Skew jumps are applied on top, and rate changes anchor continuously.
+	if err := dc.SetDrift(1, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.Now(); got != 127 {
+		t.Fatalf("after skew at %d, want 127", got)
+	}
+	fc.now = 120
+	if got := dc.Now(); got != 132 {
+		t.Fatalf("slow clock at %d, want 132", got)
+	}
+	// Rounding up: a 3-local-tick timer at rate 1/2 takes 6 real ticks;
+	// at rate 2/1 a 3-tick timer takes ceil(3/2)=2.
+	dc.After(3, func() {})
+	if fc.lastAfter != 6 {
+		t.Fatalf("After(3) at rate 1/2 scheduled %d, want 6", fc.lastAfter)
+	}
+	if err := dc.SetDrift(2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	dc.After(3, func() {})
+	if fc.lastAfter != 2 {
+		t.Fatalf("After(3) at rate 2/1 scheduled %d, want 2", fc.lastAfter)
+	}
+	if err := dc.SetDrift(0, 1, 0); !errors.Is(err, ErrSchedule) {
+		t.Fatalf("zero rate accepted: %v", err)
+	}
+}
+
+type fakeClock struct {
+	now       int64
+	lastAfter int64
+}
+
+func (f *fakeClock) Now() core.Tick { return core.Tick(f.now) }
+func (f *fakeClock) After(d core.Tick, fn func()) func() {
+	f.lastAfter = int64(d)
+	return func() {}
+}

@@ -1,0 +1,267 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Stats counts the fault layer's interventions.
+type Stats struct {
+	// Intercepted is the number of Send calls seen.
+	Intercepted uint64
+	// DroppedMuted counts sends dropped because the sender is crashed.
+	DroppedMuted uint64
+	// DroppedPartition counts sends dropped by a partition or downed link.
+	DroppedPartition uint64
+	// DroppedLoss counts sends lost by a Gilbert–Elliott channel.
+	DroppedLoss uint64
+	// Duplicated counts extra copies injected.
+	Duplicated uint64
+	// Delayed counts sends given an extra reordering delay.
+	Delayed uint64
+	// SendErrors counts errors from the wrapped transport on delayed
+	// sends, which have no caller left to report to.
+	SendErrors uint64
+}
+
+// FaultableTransport wraps any netem.Transport and applies the mutable
+// fault state a Schedule drives: per-node crash muting and partitions,
+// per-link downs and Gilbert–Elliott loss channels, duplication, and
+// reordering. All decisions draw from one seeded random stream, so a run
+// over the deterministic simulator replays exactly; faults apply at send
+// time, uniformly across netem.Network, netem.RealNetwork and
+// netem.UDPTransport.
+//
+// It is safe for concurrent use (the wrapped transport permitting).
+type FaultableTransport struct {
+	mu    sync.Mutex
+	inner netem.Transport
+	tick  netem.Ticker
+	rng   *rand.Rand
+
+	ids         []netem.NodeID
+	muted       map[netem.NodeID]bool
+	partitioned map[netem.NodeID]bool
+	linkDown    map[[2]netem.NodeID]bool
+	lossDefault *GilbertElliott
+	lossLinks   map[[2]netem.NodeID]*GilbertElliott
+	channels    map[[2]netem.NodeID]*geChannel
+	dupProb     float64
+	reorderProb float64
+	reorderMax  sim.Time
+
+	stats Stats
+}
+
+var _ netem.Transport = (*FaultableTransport)(nil)
+
+// Wrap builds a fault layer over inner. The ticker schedules reordering
+// delays (netem.SimTicker for virtual time, netem.WallTicker for real
+// time); seed drives every random fault decision.
+func Wrap(inner netem.Transport, tick netem.Ticker, seed int64) *FaultableTransport {
+	return &FaultableTransport{
+		inner:       inner,
+		tick:        tick,
+		rng:         rand.New(rand.NewSource(seed)),
+		muted:       make(map[netem.NodeID]bool),
+		partitioned: make(map[netem.NodeID]bool),
+		linkDown:    make(map[[2]netem.NodeID]bool),
+		lossLinks:   make(map[[2]netem.NodeID]*GilbertElliott),
+		channels:    make(map[[2]netem.NodeID]*geChannel),
+	}
+}
+
+// Register implements netem.Transport, tracking the node set so that
+// Broadcast can fan out through the fault layer.
+func (f *FaultableTransport) Register(id netem.NodeID, h netem.Handler) error {
+	if err := f.inner.Register(id, h); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ids = append(f.ids, id)
+	sort.Slice(f.ids, func(i, j int) bool { return f.ids[i] < f.ids[j] })
+	return nil
+}
+
+// SetNodeMuted drops (or stops dropping) every send from id — the
+// network-visible half of a process crash.
+func (f *FaultableTransport) SetNodeMuted(id netem.NodeID, muted bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.muted[id] = muted
+}
+
+// SetPartitioned isolates (or heals) a node in both directions.
+func (f *FaultableTransport) SetPartitioned(id netem.NodeID, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned[id] = down
+}
+
+// SetLinkDown takes the unidirectional from→to link down or up.
+func (f *FaultableTransport) SetLinkDown(from, to netem.NodeID, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.linkDown[[2]netem.NodeID{from, to}] = down
+}
+
+// SetLoss installs ge as the Gilbert–Elliott loss channel for every link
+// without a per-link override; nil clears it. Chain state is reset.
+func (f *FaultableTransport) SetLoss(ge *GilbertElliott) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lossDefault = ge
+	f.channels = make(map[[2]netem.NodeID]*geChannel)
+}
+
+// SetLinkLoss installs a per-link Gilbert–Elliott channel; nil reverts the
+// link to the default channel.
+func (f *FaultableTransport) SetLinkLoss(from, to netem.NodeID, ge *GilbertElliott) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]netem.NodeID{from, to}
+	if ge == nil {
+		delete(f.lossLinks, key)
+	} else {
+		f.lossLinks[key] = ge
+	}
+	delete(f.channels, key)
+}
+
+// SetDuplication sets the probability that a surviving message is sent
+// twice. Out-of-range values are clamped to [0,1].
+func (f *FaultableTransport) SetDuplication(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dupProb = clamp01(p)
+}
+
+// SetReordering sets the probability that a surviving message is delayed
+// by a uniform 1..max extra ticks before reaching the wrapped transport,
+// letting later messages overtake it.
+func (f *FaultableTransport) SetReordering(p float64, max sim.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reorderProb = clamp01(p)
+	if max < 1 {
+		f.reorderProb = 0
+		max = 0
+	}
+	f.reorderMax = max
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Stats returns a copy of the intervention counters.
+func (f *FaultableTransport) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// channel returns the chain state for a link, creating it lazily from the
+// per-link or default parameters. Callers hold f.mu.
+func (f *FaultableTransport) channel(key [2]netem.NodeID) *geChannel {
+	if ch, ok := f.channels[key]; ok {
+		return ch
+	}
+	params := f.lossDefault
+	if p, ok := f.lossLinks[key]; ok {
+		params = p
+	}
+	if params == nil {
+		return nil
+	}
+	ch := &geChannel{params: *params}
+	f.channels[key] = ch
+	return ch
+}
+
+// Send implements netem.Transport. Fault decisions happen at send time:
+// a message en route when a partition starts still arrives, exactly as on
+// a physical network.
+func (f *FaultableTransport) Send(from, to netem.NodeID, payload []byte) error {
+	f.mu.Lock()
+	f.stats.Intercepted++
+	if f.muted[from] {
+		f.stats.DroppedMuted++
+		f.mu.Unlock()
+		return nil
+	}
+	key := [2]netem.NodeID{from, to}
+	if f.partitioned[from] || f.partitioned[to] || f.linkDown[key] {
+		f.stats.DroppedPartition++
+		f.mu.Unlock()
+		return nil
+	}
+	if ch := f.channel(key); ch != nil && ch.lose(f.rng) {
+		f.stats.DroppedLoss++
+		f.mu.Unlock()
+		return nil
+	}
+	copies := 1
+	if f.dupProb > 0 && f.rng.Float64() < f.dupProb {
+		copies = 2
+		f.stats.Duplicated++
+	}
+	delays := make([]sim.Time, copies)
+	for i := range delays {
+		if f.reorderProb > 0 && f.rng.Float64() < f.reorderProb {
+			delays[i] = 1 + sim.Time(f.rng.Int63n(int64(f.reorderMax)))
+			f.stats.Delayed++
+		}
+	}
+	f.mu.Unlock()
+
+	var firstErr error
+	for _, d := range delays {
+		if d == 0 {
+			if err := f.inner.Send(from, to, payload); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// The caller may reuse payload after Send returns; the delayed
+		// copy needs its own buffer.
+		data := append([]byte(nil), payload...)
+		f.tick.AfterTicks(d, func() {
+			if err := f.inner.Send(from, to, data); err != nil {
+				f.mu.Lock()
+				f.stats.SendErrors++
+				f.mu.Unlock()
+			}
+		})
+	}
+	return firstErr
+}
+
+// Broadcast implements netem.Transport as independent unicasts through
+// the fault layer, in ascending ID order for determinism.
+func (f *FaultableTransport) Broadcast(from netem.NodeID, payload []byte) error {
+	f.mu.Lock()
+	ids := append([]netem.NodeID(nil), f.ids...)
+	f.mu.Unlock()
+	for _, to := range ids {
+		if to == from {
+			continue
+		}
+		if err := f.Send(from, to, payload); err != nil {
+			return fmt.Errorf("faults: broadcast %d→%d: %w", from, to, err)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/sim"
@@ -18,6 +19,26 @@ var _ Ticker = WallTicker{}
 func (w WallTicker) AfterTicks(n sim.Time, fn func()) (cancel func()) {
 	t := time.AfterFunc(w.TickLen*time.Duration(n), fn)
 	return func() { t.Stop() }
+}
+
+// SimTicker adapts a sim.Simulator to the Ticker interface, so components
+// written against wall-clock tickers (RealNetwork, the fault-injection
+// layer) also run deterministically in virtual time.
+type SimTicker struct {
+	Sim *sim.Simulator
+}
+
+var _ Ticker = SimTicker{}
+
+// AfterTicks implements Ticker on the simulator's virtual clock.
+func (t SimTicker) AfterTicks(n sim.Time, fn func()) (cancel func()) {
+	tm, err := t.Sim.Schedule(n, fn)
+	if err != nil {
+		// Ticker delays are non-negative by contract; scheduling can only
+		// fail on a negative delay, which is a programming error here.
+		panic(fmt.Sprintf("netem: scheduling tick: %v", err))
+	}
+	return func() { tm.Cancel() }
 }
 
 // ImmediateTicker runs callbacks synchronously, ignoring the delay. It is

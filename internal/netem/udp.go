@@ -10,7 +10,8 @@ import (
 // UDPTransport carries beats over real UDP sockets — the deployment
 // substrate the 1998 paper's companion work ("alert communication
 // primitives above TCP") targets. Each registered node binds its own
-// socket; a 16-byte header (magic, sender, recipient) frames the payload.
+// socket; a 10-byte header (2-byte magic, 4-byte sender, 4-byte
+// recipient) frames the payload.
 // UDP supplies the loss/duplication/reordering semantics for real
 // networks; for controlled experiments prefer Network or RealNetwork.
 type UDPTransport struct {
@@ -60,7 +61,7 @@ func (u *UDPTransport) Register(id NodeID, h Handler) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if u.closed {
-		return ErrClosed
+		return fmt.Errorf("netem: registering node %d: %w", id, ErrClosed)
 	}
 	if _, ok := u.nodes[id]; ok {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
@@ -102,15 +103,14 @@ func (u *UDPTransport) receiveLoop(id NodeID, n *udpNode) {
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport. A closed transport is reported before any
+// payload validation, so shutdown races surface as ErrClosed, not as a
+// spurious payload error.
 func (u *UDPTransport) Send(from, to NodeID, payload []byte) error {
-	if len(payload) > maxUDPPayload {
-		return fmt.Errorf("%w: %d bytes", ErrTooLong, len(payload))
-	}
 	u.mu.Lock()
 	if u.closed {
 		u.mu.Unlock()
-		return ErrClosed
+		return fmt.Errorf("netem: send %d->%d: %w", from, to, ErrClosed)
 	}
 	src, ok := u.nodes[from]
 	if !ok {
@@ -124,18 +124,28 @@ func (u *UDPTransport) Send(from, to NodeID, payload []byte) error {
 	}
 	u.mu.Unlock()
 
-	pkt := make([]byte, udpHeader+len(payload))
-	pkt[0] = byte(udpMagic >> 8)
-	pkt[1] = byte(udpMagic & 0xFF)
-	putNodeID(pkt[2:6], from)
-	putNodeID(pkt[6:10], to)
-	copy(pkt[udpHeader:], payload)
+	if len(payload) > maxUDPPayload {
+		return fmt.Errorf("netem: send %d->%d: %w: %d bytes", from, to, ErrTooLong, len(payload))
+	}
+	pkt := encodeFrame(from, to, payload)
 	// Datagram sends are best-effort by design; a full socket buffer is
 	// indistinguishable from network loss, which the protocol tolerates.
 	if _, err := src.conn.WriteToUDP(pkt, dst); err != nil {
 		return nil
 	}
 	return nil
+}
+
+// encodeFrame builds the wire frame: udpHeader bytes of framing followed
+// by the payload.
+func encodeFrame(from, to NodeID, payload []byte) []byte {
+	pkt := make([]byte, udpHeader+len(payload))
+	pkt[0] = byte(udpMagic >> 8)
+	pkt[1] = byte(udpMagic & 0xFF)
+	putNodeID(pkt[2:6], from)
+	putNodeID(pkt[6:10], to)
+	copy(pkt[udpHeader:], payload)
+	return pkt
 }
 
 func putNodeID(b []byte, id NodeID) {

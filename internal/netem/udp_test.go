@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"bytes"
 	"errors"
 	"sync"
 	"testing"
@@ -193,5 +194,46 @@ func TestUDPIgnoresGarbageAndMisdelivery(t *testing.T) {
 	defer rx.mu.Unlock()
 	if len(rx.msgs) != 1 {
 		t.Fatalf("garbage reached the handler: %d messages", len(rx.msgs))
+	}
+}
+
+func TestUDPFrameLength(t *testing.T) {
+	// The wire frame is exactly the documented 10-byte header — 2-byte
+	// magic, 4-byte sender, 4-byte recipient — plus the payload.
+	payload := []byte{0xDE, 0xAD, 0xBE}
+	pkt := encodeFrame(3, 7, payload)
+	if len(pkt) != udpHeader+len(payload) {
+		t.Fatalf("frame length %d, want %d", len(pkt), udpHeader+len(payload))
+	}
+	if udpHeader != 2+4+4 {
+		t.Fatalf("udpHeader = %d, want 2+4+4", udpHeader)
+	}
+	if got := uint16(pkt[0])<<8 | uint16(pkt[1]); got != udpMagic {
+		t.Fatalf("magic = %#x, want %#x", got, udpMagic)
+	}
+	if !bytes.Equal(pkt[udpHeader:], payload) {
+		t.Fatalf("payload = %x", pkt[udpHeader:])
+	}
+	if got := len(encodeFrame(0, 0, nil)); got != udpHeader {
+		t.Fatalf("empty frame length %d, want %d", got, udpHeader)
+	}
+}
+
+func TestUDPClosedBeatsPayloadValidation(t *testing.T) {
+	// After Close, even an oversized payload reports ErrClosed: the
+	// transport's lifecycle error wins over payload validation.
+	u := NewUDPTransport()
+	if err := u.Register(0, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := u.Send(0, 0, make([]byte, maxUDPPayload+1))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed transport = %v, want ErrClosed", err)
+	}
+	if errors.Is(err, ErrTooLong) {
+		t.Fatalf("closed transport still validated the payload: %v", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/faults"
 	"repro/internal/netem"
 )
 
@@ -192,5 +193,74 @@ func TestMeasureDetectionStaticVictims(t *testing.T) {
 	}
 	if res.Missed != 0 {
 		t.Fatalf("missed %d", res.Missed)
+	}
+}
+
+func TestRunCampaignSelfHealing(t *testing.T) {
+	sched := &faults.Schedule{Events: []faults.Event{
+		{At: 0, Kind: faults.KindLoss, AllLinks: true,
+			GE: &faults.GilbertElliott{PGoodBad: 0.02, PBadGood: 0.4, LossBad: 0.8}},
+		{At: 200, Kind: faults.KindCrash, Node: 1},
+		{At: 800, Kind: faults.KindRestart, Node: 1},
+	}}
+	cluster := detector.ClusterConfig{
+		Protocol:    detector.ProtocolDynamic,
+		Core:        core.Config{TMin: 2, TMax: 16},
+		N:           2,
+		AllowRejoin: true,
+	}
+	heal := &detector.SupervisorConfig{CheckEvery: 8, Backoff: detector.Backoff{Base: 2, Max: 32}}
+	res, err := RunCampaign(CampaignConfig{
+		Cluster:  cluster,
+		Schedule: sched,
+		Heal:     heal,
+		Horizon:  4000,
+		Trials:   10,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv, err := res.Survived.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surv < 0.5 {
+		t.Fatalf("self-healing survival %v, want >= 0.5", surv)
+	}
+	if mean, _ := res.Restarts.Mean(); mean <= 0 {
+		t.Fatalf("no restarts recorded (mean %v); supervisor idle?", mean)
+	}
+	if res.Faults.DroppedLoss == 0 {
+		t.Fatal("GE loss never dropped anything")
+	}
+	// Without healing, the scripted crash winds the network down for good.
+	bare, err := RunCampaign(CampaignConfig{
+		Cluster:  cluster,
+		Schedule: sched,
+		Horizon:  4000,
+		Trials:   10,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareSurv, err := bare.Survived.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bareSurv >= surv {
+		t.Fatalf("healing did not help: healed %v vs bare %v", surv, bareSurv)
+	}
+}
+
+func TestRunCampaignValidation(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{Cluster: binaryCluster(), Horizon: 10, Trials: 1}); err == nil {
+		t.Fatal("campaign without a schedule accepted")
+	}
+	if _, err := RunCampaign(CampaignConfig{
+		Cluster: binaryCluster(), Schedule: &faults.Schedule{}, Horizon: 0, Trials: 1,
+	}); err == nil {
+		t.Fatal("zero horizon accepted")
 	}
 }
