@@ -374,6 +374,7 @@ func BenchmarkAblationFixes(b *testing.B) {
 // BenchmarkCheckerThroughput measures raw model-checker speed
 // (states/second) on the binary model, the unit underlying every table.
 func BenchmarkCheckerThroughput(b *testing.B) {
+	b.ReportAllocs()
 	states := 0
 	for i := 0; i < b.N; i++ {
 		m, err := models.Build(models.Config{TMin: 9, TMax: 10, Variant: models.Binary, N: 1})
@@ -392,6 +393,7 @@ func BenchmarkCheckerThroughput(b *testing.B) {
 // BenchmarkSimulatorThroughput measures discrete-event engine speed
 // (events/second) on a fault-free binary cluster.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	events := uint64(0)
 	for i := 0; i < b.N; i++ {
 		c, err := detector.NewCluster(detector.ClusterConfig{

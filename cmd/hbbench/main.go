@@ -1,0 +1,187 @@
+// Command hbbench measures the repo's hot-path throughput — model-checker
+// states/s, packed-store interns/s, simulator events/s — and appends the
+// results to a machine-readable benchmark history, seeding the perf
+// trajectory tracked in BENCH_mc.json:
+//
+//	hbbench -label post-pr2                 # measure and append to BENCH_mc.json
+//	hbbench -out /tmp/bench.json -table=false
+//
+// Each entry records ns/op and allocs/op next to the throughput metrics,
+// so regressions in either speed or allocation discipline show up in the
+// history diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/mc"
+	"repro/internal/models"
+)
+
+// Entry is one benchmark run in the history file.
+type Entry struct {
+	Label     string  `json:"label"`
+	Date      string  `json:"date"`
+	Go        string  `json:"go"`
+	MaxProcs  int     `json:"maxprocs"`
+	Checker   Metrics `json:"checker"`
+	Simulator Metrics `json:"simulator"`
+	// Table1SeqMS and Table1ParMS time the Table 1 binary-family
+	// regeneration sequentially and with all cores, in milliseconds.
+	Table1SeqMS float64 `json:"table1_seq_ms,omitempty"`
+	Table1ParMS float64 `json:"table1_par_ms,omitempty"`
+}
+
+// Metrics summarises one throughput benchmark.
+type Metrics struct {
+	// PerSec is the benchmark's primary rate: states/s for the checker,
+	// events/s for the simulator.
+	PerSec      float64 `json:"per_sec"`
+	NSPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// History is the BENCH_mc.json document.
+type History struct {
+	Entries []Entry `json:"history"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_mc.json", "benchmark history file to append to")
+		label = flag.String("label", "run", "label for this history entry")
+		table = flag.Bool("table", true, "additionally time Table 1 (binary family) sequential vs parallel")
+	)
+	flag.Parse()
+	if err := run(*out, *label, *table); err != nil {
+		fmt.Fprintln(os.Stderr, "hbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, label string, table bool) error {
+	entry := Entry{
+		Label:    label,
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		Go:       runtime.Version(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	var benchErr error
+	checker := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		states := 0
+		for i := 0; i < b.N; i++ {
+			m, err := models.Build(models.Config{TMin: 9, TMax: 10, Variant: models.Binary, N: 1})
+			if err != nil {
+				benchErr = err
+				return
+			}
+			v, err := m.Verify(models.R1, mc.Options{})
+			if err != nil {
+				benchErr = err
+				return
+			}
+			states += v.Result.StatesExplored
+		}
+		b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	entry.Checker = metrics(checker, "states/s")
+	fmt.Printf("checker:   %11.0f states/s   %12d ns/op   %8d allocs/op\n",
+		entry.Checker.PerSec, int64(entry.Checker.NSPerOp), entry.Checker.AllocsPerOp)
+
+	simulator := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		events := uint64(0)
+		for i := 0; i < b.N; i++ {
+			c, err := detector.NewCluster(detector.ClusterConfig{
+				Protocol: detector.ProtocolBinary,
+				Core:     core.Config{TMin: 2, TMax: 16},
+				Seed:     int64(i + 1),
+			})
+			if err != nil {
+				benchErr = err
+				return
+			}
+			if err := c.Start(); err != nil {
+				benchErr = err
+				return
+			}
+			c.Sim.RunUntil(100_000)
+			events += c.Sim.EventsExecuted()
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	entry.Simulator = metrics(simulator, "events/s")
+	fmt.Printf("simulator: %11.0f events/s   %12d ns/op   %8d allocs/op\n",
+		entry.Simulator.PerSec, int64(entry.Simulator.NSPerOp), entry.Simulator.AllocsPerOp)
+
+	if table {
+		spec := models.TableSpec{
+			Variants: []models.Variant{models.Binary, models.RevisedBinary, models.TwoPhase},
+			TMins:    models.DefaultTMins(),
+			TMax:     10,
+			N:        1,
+		}
+		seq, err := timeTable(spec, 1)
+		if err != nil {
+			return err
+		}
+		par, err := timeTable(spec, 0)
+		if err != nil {
+			return err
+		}
+		entry.Table1SeqMS = seq
+		entry.Table1ParMS = par
+		fmt.Printf("table1:    %11.0f ms sequential, %.0f ms on %d workers (%.2fx)\n",
+			seq, par, runtime.GOMAXPROCS(0), seq/par)
+	}
+
+	hist := History{}
+	if b, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(b, &hist); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", out, err)
+		}
+	}
+	hist.Entries = append(hist.Entries, entry)
+	b, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended entry %q to %s\n", label, out)
+	return nil
+}
+
+func metrics(r testing.BenchmarkResult, rate string) Metrics {
+	return Metrics{
+		PerSec:      r.Extra[rate],
+		NSPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func timeTable(spec models.TableSpec, workers int) (ms float64, err error) {
+	spec.Workers = workers
+	start := time.Now()
+	if _, err := models.RunTable(spec); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Milliseconds()), nil
+}

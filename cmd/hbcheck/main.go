@@ -5,6 +5,7 @@
 //	hbcheck -table 2        # expanding + dynamic (Table 2)
 //	hbcheck -table fixed    # corrected protocols (§6), all entries T
 //	hbcheck -table all      # everything
+//	hbcheck -table 2 -workers 4   # fan cells over 4 goroutines, same output
 //	hbcheck -variant binary -tmin 10 -prop R2 -trace
 //
 // Exit status is 0 when every verdict matches the analysis' expectation
@@ -33,13 +34,14 @@ func main() {
 		fixed     = flag.Bool("fixed", false, "single check: check the corrected (§6) protocol")
 		showTrace = flag.Bool("trace", false, "single check: print the counter-example when the property fails")
 		maxStates = flag.Int("max-states", 20_000_000, "state-space limit per check")
+		workers   = flag.Int("workers", 0, "tables mode: concurrent table cells (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	opts := mc.Options{MaxStates: *maxStates}
 	switch {
 	case *table != "":
-		if err := runTables(*table, int32(*tmax), opts); err != nil {
+		if err := runTables(*table, int32(*tmax), *workers, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "hbcheck:", err)
 			os.Exit(1)
 		}
@@ -122,7 +124,7 @@ func runSingle(variant, prop string, tmin, tmax int32, n int, fixed, showTrace b
 	return verdict.Satisfied, nil
 }
 
-func runTables(which string, tmax int32, opts mc.Options) error {
+func runTables(which string, tmax int32, workers int, opts mc.Options) error {
 	run := func(title string, spec models.TableSpec) error {
 		fmt.Println("==", title)
 		cells, err := models.RunTable(spec)
@@ -135,11 +137,11 @@ func runTables(which string, tmax int32, opts mc.Options) error {
 	tmins := models.DefaultTMins()
 	table1 := models.TableSpec{
 		Variants: []models.Variant{models.Binary, models.RevisedBinary, models.TwoPhase, models.Static},
-		TMins:    tmins, TMax: tmax, N: 2, Opts: opts,
+		TMins:    tmins, TMax: tmax, N: 2, Opts: opts, Workers: workers,
 	}
 	table2 := models.TableSpec{
 		Variants: []models.Variant{models.Expanding, models.Dynamic},
-		TMins:    tmins, TMax: tmax, N: 1, Opts: opts,
+		TMins:    tmins, TMax: tmax, N: 1, Opts: opts, Workers: workers,
 	}
 	fixed1 := table1
 	fixed1.Fixed = true

@@ -3,6 +3,7 @@ package mc
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strings"
 
@@ -24,30 +25,57 @@ type LTS struct {
 	NumStates   int
 	Initial     int
 	Transitions []Trans
+	// labelIDs and labelNames intern the transition labels to dense
+	// integer ids (built lazily by internLabels), so the reduction
+	// algorithms compare ints instead of strings. The exported API stays
+	// string-typed.
+	labelIDs   []int32
+	labelNames []string
+}
+
+// internLabels builds the label intern table; a no-op when already built
+// for the current transition count.
+func (l *LTS) internLabels() {
+	if l.labelIDs != nil && len(l.labelIDs) == len(l.Transitions) {
+		return
+	}
+	idx := make(map[string]int32, 16)
+	l.labelNames = l.labelNames[:0]
+	l.labelIDs = make([]int32, len(l.Transitions))
+	for i, t := range l.Transitions {
+		id, ok := idx[t.Label]
+		if !ok {
+			id = int32(len(l.labelNames))
+			l.labelNames = append(l.labelNames, t.Label)
+			idx[t.Label] = id
+		}
+		l.labelIDs[i] = id
+	}
 }
 
 // BuildLTS generates the full reachable transition system of a network.
 func BuildLTS(n *ta.Network, opts Options) (*LTS, error) {
 	limit := opts.maxStates()
 	init := n.Initial()
-	states := []ta.State{init}
-	index := map[string]int{init.Key(): 0}
+	st := newStateStore(minTableSize)
+	key := init.AppendKey(make([]byte, 0, init.KeyLen()))
+	st.intern(key)
 	l := &LTS{NumStates: 1}
 
+	scratch := init.Clone()
+	numLocs, numClocks := len(init.Locs), len(init.Clocks)
 	var buf []ta.Transition
-	for head := 0; head < len(states); head++ {
-		s := states[head]
-		buf = n.Successors(&s, buf[:0])
-		for _, tr := range buf {
-			key := tr.Target.Key()
-			id, seen := index[key]
-			if !seen {
-				id = len(states)
+	for head := 0; head < st.len(); head++ {
+		scratch.DecodeKey(st.key(head), numLocs, numClocks)
+		buf = n.Successors(&scratch, buf[:0])
+		for i := range buf {
+			tr := &buf[i]
+			key = tr.Target.AppendKey(key[:0])
+			id, added := st.intern(key)
+			if added {
 				if id >= limit {
 					return nil, fmt.Errorf("%w: %d states", ErrStateLimit, limit)
 				}
-				index[key] = id
-				states = append(states, tr.Target)
 				l.NumStates++
 			}
 			l.Transitions = append(l.Transitions, Trans{From: head, Label: tr.Label, To: id})
@@ -56,14 +84,22 @@ func BuildLTS(n *ta.Network, opts Options) (*LTS, error) {
 	return l, nil
 }
 
-// Hide renames every transition whose label satisfies hidden to Tau.
+// Hide renames every transition whose label satisfies hidden to Tau. The
+// predicate is evaluated once per distinct label, not once per transition.
 func (l *LTS) Hide(hidden func(string) bool) *LTS {
+	l.internLabels()
+	renamed := make([]string, len(l.labelNames))
+	for i, name := range l.labelNames {
+		if hidden(name) {
+			renamed[i] = Tau
+		} else {
+			renamed[i] = name
+		}
+	}
 	out := &LTS{NumStates: l.NumStates, Initial: l.Initial}
 	out.Transitions = make([]Trans, len(l.Transitions))
 	for i, t := range l.Transitions {
-		if hidden(t.Label) {
-			t.Label = Tau
-		}
+		t.Label = renamed[l.labelIDs[i]]
 		out.Transitions[i] = t
 	}
 	return out
@@ -71,47 +107,67 @@ func (l *LTS) Hide(hidden func(string) bool) *LTS {
 
 // Labels returns the sorted set of labels.
 func (l *LTS) Labels() []string {
-	set := map[string]bool{}
-	for _, t := range l.Transitions {
-		set[t.Label] = true
-	}
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
+	l.internLabels()
+	out := append([]string(nil), l.labelNames...)
 	sort.Strings(out)
 	return out
 }
 
-// MinimizeStrong returns the quotient of the LTS under strong
-// bisimulation, via signature-based partition refinement.
-func (l *LTS) MinimizeStrong() *LTS {
-	// succ[s] = transitions out of s.
-	succ := make([][]Trans, l.NumStates)
-	for _, t := range l.Transitions {
-		succ[t.From] = append(succ[t.From], t)
+// lEdge is an interned transition: a label id and a target state.
+type lEdge struct {
+	label, to int32
+}
+
+// succEdges builds the per-state interned successor lists.
+func (l *LTS) succEdges() [][]lEdge {
+	l.internLabels()
+	succ := make([][]lEdge, l.NumStates)
+	for i, t := range l.Transitions {
+		succ[t.From] = append(succ[t.From], lEdge{l.labelIDs[i], int32(t.To)})
 	}
-	block := make([]int, l.NumStates) // all in block 0 initially
+	return succ
+}
+
+// appendUint32/appendUint64 extend binary signature keys.
+func appendUint32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendUint64(buf []byte, v uint64) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// MinimizeStrong returns the quotient of the LTS under strong
+// bisimulation, via signature-based partition refinement. Signatures are
+// packed (label id, successor block) integers — sorted and deduplicated in
+// a reused buffer, with no per-state maps or string formatting.
+func (l *LTS) MinimizeStrong() *LTS {
+	succ := l.succEdges()
+	block := make([]int32, l.NumStates) // all in block 0 initially
 	numBlocks := 1
+	var sigBuf []uint64
+	var keyBuf []byte
 	for {
-		sigs := make(map[string]int)
-		next := make([]int, l.NumStates)
+		sigs := make(map[string]int32, numBlocks)
+		next := make([]int32, l.NumStates)
 		for s := 0; s < l.NumStates; s++ {
-			var parts []string
-			seen := map[string]bool{}
-			for _, t := range succ[s] {
-				p := fmt.Sprintf("%s\x00%d", t.Label, block[t.To])
-				if !seen[p] {
-					seen[p] = true
-					parts = append(parts, p)
-				}
+			sigBuf = sigBuf[:0]
+			for _, e := range succ[s] {
+				sigBuf = append(sigBuf, uint64(uint32(e.label))<<32|uint64(uint32(block[e.to])))
 			}
-			sort.Strings(parts)
-			sig := fmt.Sprintf("%d\x01%s", block[s], strings.Join(parts, "\x01"))
-			id, ok := sigs[sig]
+			slices.Sort(sigBuf)
+			keyBuf = appendUint32(keyBuf[:0], uint32(block[s]))
+			for i, p := range sigBuf {
+				if i > 0 && p == sigBuf[i-1] {
+					continue
+				}
+				keyBuf = appendUint64(keyBuf, p)
+			}
+			id, ok := sigs[string(keyBuf)]
 			if !ok {
-				id = len(sigs)
-				sigs[sig] = id
+				id = int32(len(sigs))
+				sigs[string(keyBuf)] = id
 			}
 			next[s] = id
 		}
@@ -126,11 +182,11 @@ func (l *LTS) MinimizeStrong() *LTS {
 }
 
 // quotient collapses states by block assignment.
-func (l *LTS) quotient(block []int, numBlocks int) *LTS {
-	out := &LTS{NumStates: numBlocks, Initial: block[l.Initial]}
+func (l *LTS) quotient(block []int32, numBlocks int) *LTS {
+	out := &LTS{NumStates: numBlocks, Initial: int(block[l.Initial])}
 	seen := map[Trans]bool{}
 	for _, t := range l.Transitions {
-		q := Trans{From: block[t.From], Label: t.Label, To: block[t.To]}
+		q := Trans{From: int(block[t.From]), Label: t.Label, To: int(block[t.To])}
 		if !seen[q] {
 			seen[q] = true
 			out.Transitions = append(out.Transitions, q)
@@ -157,9 +213,13 @@ func (l *LTS) quotient(block []int, numBlocks int) *LTS {
 // state limit applies.
 func (l *LTS) WeakTraceReduce(opts Options) (*LTS, error) {
 	limit := opts.maxStates()
-	succ := make([][]Trans, l.NumStates)
-	for _, t := range l.Transitions {
-		succ[t.From] = append(succ[t.From], t)
+	succ := l.succEdges()
+	numLabels := len(l.labelNames)
+	tau := int32(-1)
+	for i, name := range l.labelNames {
+		if name == Tau {
+			tau = int32(i)
+		}
 	}
 
 	closure := func(set map[int]bool) map[int]bool {
@@ -170,67 +230,83 @@ func (l *LTS) WeakTraceReduce(opts Options) (*LTS, error) {
 		for len(stack) > 0 {
 			s := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, t := range succ[s] {
-				if t.Label == Tau && !set[t.To] {
-					set[t.To] = true
-					stack = append(stack, t.To)
+			for _, e := range succ[s] {
+				if e.label == tau && !set[int(e.to)] {
+					set[int(e.to)] = true
+					stack = append(stack, int(e.to))
 				}
 			}
 		}
 		return set
 	}
-	keyOf := func(set map[int]bool) string {
-		ids := make([]int, 0, len(set))
+	// keyOf encodes a subset as its sorted member ids packed into a reused
+	// byte buffer (replacing the old "%d," string keys); the result aliases
+	// the buffer, so copy via the map's string conversion before reuse.
+	var ids []int
+	var keyBuf []byte
+	keyOf := func(set map[int]bool) []byte {
+		ids = ids[:0]
 		for s := range set {
 			ids = append(ids, s)
 		}
-		sort.Ints(ids)
-		var sb strings.Builder
+		slices.Sort(ids)
+		keyBuf = keyBuf[:0]
 		for _, id := range ids {
-			fmt.Fprintf(&sb, "%d,", id)
+			keyBuf = appendUint32(keyBuf, uint32(id))
 		}
-		return sb.String()
+		return keyBuf
 	}
+
+	// byName lists the visible label ids in label-name order, so subset
+	// states are discovered in exactly the order of the original
+	// string-keyed construction (figure tests pin the output).
+	byName := make([]int32, 0, numLabels)
+	for i := int32(0); i < int32(numLabels); i++ {
+		if i != tau {
+			byName = append(byName, i)
+		}
+	}
+	slices.SortFunc(byName, func(a, b int32) int {
+		return strings.Compare(l.labelNames[a], l.labelNames[b])
+	})
 
 	initSet := closure(map[int]bool{l.Initial: true})
 	sets := []map[int]bool{initSet}
-	index := map[string]int{keyOf(initSet): 0}
+	index := map[string]int{string(keyOf(initSet)): 0}
 	out := &LTS{NumStates: 1}
 
+	byLabel := make([]map[int]bool, numLabels)
 	for head := 0; head < len(sets); head++ {
-		cur := sets[head]
-		// Group visible successors by label.
-		byLabel := map[string]map[int]bool{}
-		for s := range cur {
-			for _, t := range succ[s] {
-				if t.Label == Tau {
+		// Group visible successors by label id.
+		for s := range sets[head] {
+			for _, e := range succ[s] {
+				if e.label == tau {
 					continue
 				}
-				if byLabel[t.Label] == nil {
-					byLabel[t.Label] = map[int]bool{}
+				if byLabel[e.label] == nil {
+					byLabel[e.label] = map[int]bool{}
 				}
-				byLabel[t.Label][t.To] = true
+				byLabel[e.label][int(e.to)] = true
 			}
 		}
-		labels := make([]string, 0, len(byLabel))
-		for lab := range byLabel {
-			labels = append(labels, lab)
-		}
-		sort.Strings(labels)
-		for _, lab := range labels {
+		for _, lab := range byName {
+			if byLabel[lab] == nil {
+				continue
+			}
 			target := closure(byLabel[lab])
+			byLabel[lab] = nil
 			key := keyOf(target)
-			id, seen := index[key]
+			id, seen := index[string(key)]
 			if !seen {
 				id = len(sets)
 				if id >= limit {
 					return nil, fmt.Errorf("%w: %d subset states", ErrStateLimit, limit)
 				}
-				index[key] = id
+				index[string(key)] = id
 				sets = append(sets, target)
 				out.NumStates++
 			}
-			out.Transitions = append(out.Transitions, Trans{From: head, Label: lab, To: id})
+			out.Transitions = append(out.Transitions, Trans{From: head, Label: l.labelNames[lab], To: id})
 		}
 	}
 	return out.MinimizeStrong(), nil

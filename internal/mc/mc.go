@@ -74,9 +74,10 @@ func CheckReachability(n *ta.Network, goal func(*ta.State) bool, opts Options) (
 	limit := opts.maxStates()
 	init := n.Initial()
 
-	states := []ta.State{init}
+	st := newStateStore(minTableSize)
+	key := init.AppendKey(make([]byte, 0, init.KeyLen()))
+	st.intern(key)
 	info := []nodeInfo{{parent: -1}}
-	index := map[string]int{init.Key(): 0}
 
 	res := Result{StatesExplored: 1}
 	if goal(&init) {
@@ -85,30 +86,33 @@ func CheckReachability(n *ta.Network, goal func(*ta.State) bool, opts Options) (
 		return res, nil
 	}
 
+	// The store's arena is the only copy of every configuration; states are
+	// decoded back out into one reused scratch state for expansion.
+	scratch := init.Clone()
+	numLocs, numClocks := len(init.Locs), len(init.Clocks)
 	var buf []ta.Transition
-	for head := 0; head < len(states); head++ {
-		s := states[head]
-		if opts.Prune != nil && opts.Prune(&s) {
+	for head := 0; head < st.len(); head++ {
+		scratch.DecodeKey(st.key(head), numLocs, numClocks)
+		if opts.Prune != nil && opts.Prune(&scratch) {
 			continue
 		}
-		buf = n.Successors(&s, buf[:0])
+		buf = n.Successors(&scratch, buf[:0])
 		res.TransitionsExplored += len(buf)
-		for _, tr := range buf {
-			key := tr.Target.Key()
-			if _, seen := index[key]; seen {
+		for i := range buf {
+			tr := &buf[i]
+			key = tr.Target.AppendKey(key[:0])
+			id, added := st.intern(key)
+			if !added {
 				continue
 			}
-			id := len(states)
 			if id >= limit {
 				return res, fmt.Errorf("%w: %d states", ErrStateLimit, limit)
 			}
-			index[key] = id
-			states = append(states, tr.Target)
 			info = append(info, nodeInfo{parent: head, label: tr.Label, delay: tr.Delay})
 			res.StatesExplored++
 			if goal(&tr.Target) {
 				res.Reachable = true
-				res.Trace = rebuildTrace(states, info, id)
+				res.Trace = rebuildTrace(st, numLocs, numClocks, info, id)
 				return res, nil
 			}
 		}
@@ -125,8 +129,9 @@ type nodeInfo struct {
 }
 
 // rebuildTrace walks parent pointers back to the root and emits the
-// forward trace with cumulative times.
-func rebuildTrace(states []ta.State, info []nodeInfo, goal int) []Step {
+// forward trace with cumulative times, decoding each witness state out of
+// the packed store.
+func rebuildTrace(st *stateStore, numLocs, numClocks int, info []nodeInfo, goal int) []Step {
 	var rev []int
 	for at := goal; at != -1; at = info[at].parent {
 		rev = append(rev, at)
@@ -138,11 +143,13 @@ func rebuildTrace(states []ta.State, info []nodeInfo, goal int) []Step {
 		if info[id].delay {
 			now++
 		}
+		var s ta.State
+		s.DecodeKey(st.key(id), numLocs, numClocks)
 		steps = append(steps, Step{
 			Label: info[id].label,
 			Delay: info[id].delay,
 			Time:  now,
-			State: states[id].Clone(),
+			State: s,
 		})
 	}
 	return steps

@@ -1,0 +1,110 @@
+package mc
+
+// stateStore is a packed, deduplicating store of state keys (the
+// ta.State.AppendKey encodings). Keys are serialised once into a growable
+// byte arena and addressed by dense integer ids through (offset, length)
+// handles; an open-addressing hash index over those handles replaces the
+// map[string]int of the original BFS, so steady-state interning allocates
+// nothing — no per-state string, no map entry, no retained ta.State.
+type stateStore struct {
+	arena []byte
+	// offs is a prefix-offset array: key i occupies arena[offs[i]:offs[i+1]].
+	offs []uint64
+	// hashes memoises each key's full hash for cheap probe rejection and
+	// table growth without re-hashing the arena.
+	hashes []uint64
+	// table is the open-addressing index: 0 is empty, otherwise id+1.
+	// Power-of-two sized, linear probing, grown at 3/4 load.
+	table []int32
+}
+
+// minTableSize keeps the probe mask non-degenerate for tiny stores.
+const minTableSize = 64
+
+// newStateStore returns a store pre-sized for about hint keys.
+func newStateStore(hint int) *stateStore {
+	size := minTableSize
+	for size*3/4 < hint {
+		size *= 2
+	}
+	return &stateStore{
+		offs:  make([]uint64, 1, hint+1),
+		table: make([]int32, size),
+	}
+}
+
+// len returns the number of interned keys.
+func (st *stateStore) len() int { return len(st.offs) - 1 }
+
+// key returns the bytes of key id. The slice aliases the arena and is
+// invalidated by the next intern, so decode or copy before interning.
+func (st *stateStore) key(id int) []byte {
+	return st.arena[st.offs[id]:st.offs[id+1]]
+}
+
+// intern dedups key into the store: the id of the existing copy when seen
+// before, otherwise a fresh id (added true) with the bytes appended to the
+// arena. key itself is never retained.
+func (st *stateStore) intern(key []byte) (id int, added bool) {
+	h := hashKey(key)
+	mask := uint64(len(st.table) - 1)
+	i := h & mask
+	for {
+		slot := st.table[i]
+		if slot == 0 {
+			break
+		}
+		cand := int(slot - 1)
+		if st.hashes[cand] == h && string(st.key(cand)) == string(key) {
+			return cand, false
+		}
+		i = (i + 1) & mask
+	}
+	id = st.len()
+	st.arena = append(st.arena, key...)
+	st.offs = append(st.offs, uint64(len(st.arena)))
+	st.hashes = append(st.hashes, h)
+	st.table[i] = int32(id + 1)
+	if (st.len()+1)*4 > len(st.table)*3 {
+		st.grow()
+	}
+	return id, true
+}
+
+// grow doubles the hash table and reinserts every id from its memoised
+// hash.
+func (st *stateStore) grow() {
+	next := make([]int32, 2*len(st.table))
+	mask := uint64(len(next) - 1)
+	for id, h := range st.hashes {
+		i := h & mask
+		for next[i] != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = int32(id + 1)
+	}
+	st.table = next
+}
+
+// hashKey mixes key 8 bytes at a time (FNV-style over words with an
+// avalanche finish); state keys are short and uniform, so this beats
+// byte-at-a-time hashing without pulling in a real hash dependency.
+func hashKey(key []byte) uint64 {
+	const m = 0x9E3779B97F4A7C15 // 2^64 / phi
+	h := uint64(len(key))*m + 1
+	for len(key) >= 8 {
+		k := uint64(key[0]) | uint64(key[1])<<8 | uint64(key[2])<<16 | uint64(key[3])<<24 |
+			uint64(key[4])<<32 | uint64(key[5])<<40 | uint64(key[6])<<48 | uint64(key[7])<<56
+		h = (h ^ k) * m
+		key = key[8:]
+	}
+	var tail uint64
+	for i := len(key) - 1; i >= 0; i-- {
+		tail = tail<<8 | uint64(key[i])
+	}
+	h = (h ^ tail) * m
+	h ^= h >> 32
+	h *= m
+	h ^= h >> 29
+	return h
+}

@@ -1,0 +1,102 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		// Mixed lengths exercise the (offset, length) handles.
+		keys[i] = []byte(fmt.Sprintf("state-%d-%s", i, "xxxxxxxx"[:i%8]))
+	}
+	return keys
+}
+
+func TestStateStoreInternDedup(t *testing.T) {
+	st := newStateStore(4)
+	keys := testKeys(1000) // forces several table growths past minTableSize
+	for i, k := range keys {
+		id, added := st.intern(k)
+		if !added || id != i {
+			t.Fatalf("intern(%q) = (%d, %v), want (%d, true)", k, id, added, i)
+		}
+	}
+	if st.len() != len(keys) {
+		t.Fatalf("len = %d, want %d", st.len(), len(keys))
+	}
+	for i, k := range keys {
+		id, added := st.intern(k)
+		if added || id != i {
+			t.Fatalf("re-intern(%q) = (%d, %v), want (%d, false)", k, id, added, i)
+		}
+		if string(st.key(id)) != string(k) {
+			t.Fatalf("key(%d) = %q, want %q", id, st.key(id), k)
+		}
+	}
+}
+
+func TestStateStoreDoesNotRetainCaller(t *testing.T) {
+	st := newStateStore(4)
+	buf := []byte("aaaa")
+	st.intern(buf)
+	copy(buf, "bbbb") // caller reuses its buffer
+	if string(st.key(0)) != "aaaa" {
+		t.Fatalf("stored key mutated to %q", st.key(0))
+	}
+	if id, added := st.intern(buf); !added || id != 1 {
+		t.Fatalf("intern after reuse = (%d, %v), want (1, true)", id, added)
+	}
+}
+
+func TestStateStoreLookupAllocs(t *testing.T) {
+	st := newStateStore(1024)
+	keys := testKeys(1000)
+	for _, k := range keys {
+		st.intern(k)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			if _, added := st.intern(k); added {
+				t.Fatal("hit path added a key")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lookup allocs/run = %v, want 0", allocs)
+	}
+}
+
+// BenchmarkStateStore pins the packed store's intern cost: the miss path
+// (fresh keys, amortised arena/table growth) and the hit path (dedup
+// lookups, zero allocations).
+func BenchmarkStateStore(b *testing.B) {
+	keys := testKeys(100_000)
+	b.Run("intern-miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st := newStateStore(minTableSize)
+			b.StartTimer()
+			for _, k := range keys {
+				st.intern(k)
+			}
+		}
+		b.ReportMetric(float64(len(keys)*b.N)/b.Elapsed().Seconds(), "interns/s")
+	})
+	b.Run("intern-hit", func(b *testing.B) {
+		st := newStateStore(len(keys))
+		for _, k := range keys {
+			st.intern(k)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				st.intern(k)
+			}
+		}
+		b.ReportMetric(float64(len(keys)*b.N)/b.Elapsed().Seconds(), "interns/s")
+	})
+}

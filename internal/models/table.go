@@ -2,7 +2,10 @@ package models
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/mc"
 )
@@ -22,6 +25,10 @@ type TableSpec struct {
 	Fixed bool
 	// Opts tunes the model checker.
 	Opts mc.Options
+	// Workers bounds how many cells are verified concurrently; 0 means
+	// runtime.GOMAXPROCS(0). Cells are independent models, so any worker
+	// count returns results byte-identical to sequential execution.
+	Workers int
 }
 
 // DefaultTMins is the data-set sweep of the analysis.
@@ -35,28 +42,85 @@ type Cell struct {
 	Verdict Verdict
 }
 
-// RunTable evaluates every (variant, tmin, property) combination.
+// RunTable evaluates every (variant, tmin, property) combination. Cells
+// fan out over spec.Workers goroutines (each cell builds its own model, so
+// they share nothing) and are reassembled in spec order: the result — and
+// on failure, the error and the completed-cell prefix — is identical for
+// every worker count. The first error cancels the remaining cells.
 func RunTable(spec TableSpec) ([]Cell, error) {
-	var cells []Cell
+	jobs := make([]Cell, 0, len(spec.Variants)*len(spec.TMins)*3)
 	for _, variant := range spec.Variants {
 		for _, tmin := range spec.TMins {
 			for _, prop := range []Property{R1, R2, R3} {
-				cfg := Config{
-					TMin:    tmin,
-					TMax:    spec.TMax,
-					Variant: variant,
-					N:       spec.N,
-					Fixed:   spec.Fixed,
-				}
-				v, err := Verify(cfg, prop, spec.Opts)
-				if err != nil {
-					return cells, fmt.Errorf("table cell %v tmin=%d %v: %w", variant, tmin, prop, err)
-				}
-				cells = append(cells, Cell{Variant: variant, TMin: tmin, Prop: prop, Verdict: v})
+				jobs = append(jobs, Cell{Variant: variant, TMin: tmin, Prop: prop})
 			}
 		}
 	}
-	return cells, nil
+	run := func(c *Cell) error {
+		cfg := Config{
+			TMin:    c.TMin,
+			TMax:    spec.TMax,
+			Variant: c.Variant,
+			N:       spec.N,
+			Fixed:   spec.Fixed,
+		}
+		v, err := Verify(cfg, c.Prop, spec.Opts)
+		if err != nil {
+			return fmt.Errorf("table cell %v tmin=%d %v: %w", c.Variant, c.TMin, c.Prop, err)
+		}
+		c.Verdict = v
+		return nil
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			if err := run(&jobs[i]); err != nil {
+				return jobs[:i], err
+			}
+		}
+		return jobs, nil
+	}
+
+	// Workers claim cell indices in order from a shared counter and stop
+	// claiming after the first error. Claims are monotone, so once the
+	// earliest-failing index is known, every earlier cell has completed
+	// cleanly — exactly the prefix a sequential run would return.
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, len(jobs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				if errs[i] = run(&jobs[i]); errs[i] != nil {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return jobs[:i], err
+		}
+	}
+	return jobs, nil
 }
 
 // FormatTable renders cells in the layout of the paper's tables: one block

@@ -1,0 +1,84 @@
+package models
+
+import (
+	"testing"
+)
+
+// TestRunTableParallelDeterminism pins the parallel-table contract: any
+// worker count must return cells — and therefore FormatTable output and
+// VerdictStrings — byte-identical to sequential execution.
+func TestRunTableParallelDeterminism(t *testing.T) {
+	spec := TableSpec{
+		Variants: []Variant{Binary, Expanding},
+		TMins:    []int32{1, 2, 4},
+		TMax:     4,
+		N:        1,
+	}
+	seq := spec
+	seq.Workers = 1
+	par := spec
+	par.Workers = 8
+
+	seqCells, err := RunTable(seq)
+	if err != nil {
+		t.Fatalf("sequential RunTable: %v", err)
+	}
+	parCells, err := RunTable(par)
+	if err != nil {
+		t.Fatalf("parallel RunTable: %v", err)
+	}
+
+	if len(seqCells) != len(parCells) {
+		t.Fatalf("cell counts differ: %d sequential, %d parallel", len(seqCells), len(parCells))
+	}
+	for i := range seqCells {
+		s, p := seqCells[i], parCells[i]
+		if s.Variant != p.Variant || s.TMin != p.TMin || s.Prop != p.Prop ||
+			s.Verdict.Satisfied != p.Verdict.Satisfied ||
+			s.Verdict.Result.StatesExplored != p.Verdict.Result.StatesExplored ||
+			s.Verdict.Result.TransitionsExplored != p.Verdict.Result.TransitionsExplored {
+			t.Fatalf("cell %d differs: sequential %+v, parallel %+v", i, s, p)
+		}
+	}
+	if sf, pf := FormatTable(seqCells), FormatTable(parCells); sf != pf {
+		t.Fatalf("FormatTable differs:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", sf, pf)
+	}
+	for _, variant := range spec.Variants {
+		for _, tmin := range spec.TMins {
+			sv := VerdictString(seqCells, variant, tmin)
+			pv := VerdictString(parCells, variant, tmin)
+			if sv != pv {
+				t.Fatalf("%v tmin=%d: verdicts %q sequential, %q parallel", variant, tmin, sv, pv)
+			}
+		}
+	}
+}
+
+// TestRunTableErrorPrefix pins the failure contract: the error of the
+// earliest failing cell is reported and the returned cells are exactly the
+// clean prefix before it, for sequential and parallel runs alike.
+func TestRunTableErrorPrefix(t *testing.T) {
+	spec := TableSpec{
+		Variants: []Variant{Binary},
+		TMins:    []int32{1, 2},
+		TMax:     4,
+		N:        1,
+	}
+	// A one-state limit fails every cell immediately; the earliest is
+	// (Binary, tmin=1, R1), so no clean prefix exists.
+	spec.Opts.MaxStates = 1
+	for _, workers := range []int{1, 4} {
+		spec.Workers = workers
+		cells, err := RunTable(spec)
+		if err == nil {
+			t.Fatalf("workers=%d: expected state-limit error", workers)
+		}
+		want := "table cell binary tmin=1 R1"
+		if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+			t.Fatalf("workers=%d: error %q, want prefix %q", workers, got, want)
+		}
+		if len(cells) != 0 {
+			t.Fatalf("workers=%d: %d cells returned before earliest failure, want 0", workers, len(cells))
+		}
+	}
+}

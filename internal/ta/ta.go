@@ -70,9 +70,11 @@ func (s *State) Clone() State {
 	}
 }
 
-// Key returns a compact encoding usable as a map key.
-func (s *State) Key() string {
-	buf := make([]byte, 0, len(s.Locs)+2*len(s.Clocks)+2*len(s.Vars))
+// AppendKey appends the state's canonical key encoding to buf and returns
+// the extended slice: the location vector verbatim, then each clock and
+// variable as a big-endian 16-bit truncation. It never allocates beyond
+// growing buf, so a caller reusing one buffer encodes states alloc-free.
+func (s *State) AppendKey(buf []byte) []byte {
 	buf = append(buf, s.Locs...)
 	for _, c := range s.Clocks {
 		buf = append(buf, byte(uint16(c)>>8), byte(uint16(c)))
@@ -80,7 +82,37 @@ func (s *State) Key() string {
 	for _, v := range s.Vars {
 		buf = append(buf, byte(uint16(v)>>8), byte(uint16(v)))
 	}
-	return string(buf)
+	return buf
+}
+
+// KeyLen returns the length of the state's AppendKey encoding.
+func (s *State) KeyLen() int {
+	return len(s.Locs) + 2*len(s.Clocks) + 2*len(s.Vars)
+}
+
+// Key returns the AppendKey encoding as a string, usable as a map key.
+func (s *State) Key() string {
+	return string(s.AppendKey(make([]byte, 0, s.KeyLen())))
+}
+
+// DecodeKey rebuilds the state encoded by AppendKey into s, reusing s's
+// slice capacity. numLocs and numClocks fix the layout; the variable count
+// is the remainder of the key. Values round-trip exactly when they fit in
+// int16 — the same 16-bit truncation AppendKey applies (wider values
+// already collide as keys, so no checker that dedups on keys can tell the
+// difference).
+func (s *State) DecodeKey(key []byte, numLocs, numClocks int) {
+	s.Locs = append(s.Locs[:0], key[:numLocs]...)
+	key = key[numLocs:]
+	s.Clocks = s.Clocks[:0]
+	for i := 0; i < numClocks; i++ {
+		s.Clocks = append(s.Clocks, int32(int16(uint16(key[2*i])<<8|uint16(key[2*i+1]))))
+	}
+	key = key[2*numClocks:]
+	s.Vars = s.Vars[:0]
+	for i := 0; i+1 < len(key); i += 2 {
+		s.Vars = append(s.Vars, int32(int16(uint16(key[i])<<8|uint16(key[i+1]))))
+	}
 }
 
 // Guard is a predicate over a configuration; nil means true.
@@ -147,6 +179,13 @@ type Network struct {
 	compiled  bool
 	sendEdges map[ChanID][]edgeRef
 	recvEdges map[ChanID][]edgeRef
+	// scratch buffers reused across Successors calls (see the concurrency
+	// note on Successors). None of them escape a call.
+	scratchCommitted []bool
+	scratchMust      []bool
+	scratchSeen      []bool
+	scratchRecv      []edgeRef
+	scratchTick      State
 }
 
 type edgeRef struct {
@@ -291,13 +330,18 @@ func (n *Network) enabled(s *State, a int, e *Edge) bool {
 }
 
 // committedActive returns the set of automata in committed locations, or
-// nil if none.
+// nil if none. The returned mask is a scratch buffer valid only until the
+// next Successors call.
 func (n *Network) committedActive(s *State) []bool {
 	var mask []bool
 	for i, a := range n.automata {
 		if a.Locations[s.Locs[i]].Kind == Committed {
 			if mask == nil {
-				mask = make([]bool, len(n.automata))
+				if len(n.scratchCommitted) != len(n.automata) {
+					n.scratchCommitted = make([]bool, len(n.automata))
+				}
+				mask = n.scratchCommitted
+				clear(mask)
 			}
 			mask[i] = true
 		}
@@ -305,7 +349,39 @@ func (n *Network) committedActive(s *State) []bool {
 	return mask
 }
 
+// appendTarget extends buf by one transition whose target starts as a
+// copy of src, reusing the spare slot's slice capacity (dead entries left
+// beyond len(buf) by a caller recycling its buffer with buf[:0] donate
+// their slices), and returns the grown buffer plus a pointer to the new
+// entry for the caller to finish. Building the target in place keeps it
+// off the heap: guard and update closures receive a pointer into buf's
+// backing array, not a stack local that escape analysis would box per
+// transition. A caller that decides against the transition simply keeps
+// the shorter original buffer.
+func appendTarget(buf []Transition, src *State) ([]Transition, *Transition) {
+	i := len(buf)
+	if i < cap(buf) {
+		buf = buf[:i+1]
+	} else {
+		buf = append(buf, Transition{})
+	}
+	tr := &buf[i]
+	tr.Label, tr.Delay, tr.Class, tr.src = "", false, ClassDefault, 0
+	t := &tr.Target
+	t.Locs = append(t.Locs[:0], src.Locs...)
+	t.Clocks = append(t.Clocks[:0], src.Clocks...)
+	t.Vars = append(t.Vars[:0], src.Vars...)
+	return buf, tr
+}
+
 // Successors appends all outgoing transitions of s to buf and returns it.
+//
+// Target states reuse the spare capacity of buf beyond len(buf): a caller
+// may recycle its buffer with buf[:0] between calls, but must not retain a
+// Transition.Target from an earlier call while doing so (copy the state or
+// its key first). The network also keeps internal scratch buffers, so
+// Successors must not be called concurrently on one Network, nor
+// re-entered from a Guard, Invariant, or Update closure.
 func (n *Network) Successors(s *State, buf []Transition) []Transition {
 	n.compile()
 	committed := n.committedActive(s)
@@ -321,12 +397,13 @@ func (n *Network) Successors(s *State, buf []Transition) []Transition {
 			if committed != nil && !committed[ai] {
 				continue
 			}
-			t := s.Clone()
-			t.Locs[ai] = uint8(e.To)
+			var tr *Transition
+			buf, tr = appendTarget(buf, s)
+			tr.Target.Locs[ai] = uint8(e.To)
 			if e.Update != nil {
-				e.Update(&t)
+				e.Update(&tr.Target)
 			}
-			buf = append(buf, Transition{Label: e.Label, Class: e.Class, src: ai, Target: t})
+			tr.Label, tr.Class, tr.src = e.Label, e.Class, ai
 		}
 	}
 
@@ -347,10 +424,7 @@ func (n *Network) Successors(s *State, buf []Transition) []Transition {
 	}
 
 	// Delay transition.
-	if t, ok := n.delay(s, committed); ok {
-		buf = append(buf, t)
-	}
-	return buf
+	return n.appendDelay(s, committed, buf)
 }
 
 // handshakeSuccessors pairs each enabled sender with each enabled receiver
@@ -372,24 +446,26 @@ func (n *Network) handshakeSuccessors(s *State, ch ChanID, committed []bool, buf
 			if committed != nil && !committed[sr.aut] && !committed[rr.aut] {
 				continue
 			}
-			t := s.Clone()
+			var tr *Transition
+			buf, tr = appendTarget(buf, s)
+			t := &tr.Target
 			t.Locs[sr.aut] = uint8(se.To)
 			t.Locs[rr.aut] = uint8(re.To)
 			if se.Update != nil {
-				se.Update(&t)
+				se.Update(t)
 			}
 			if re.Update != nil {
-				re.Update(&t)
+				re.Update(t)
 			}
-			label := se.Label
-			if label == "" {
-				label = re.Label
+			tr.Label = se.Label
+			if tr.Label == "" {
+				tr.Label = re.Label
 			}
-			class := se.Class
+			tr.Class = se.Class
 			if re.Class != ClassDefault {
-				class = re.Class
+				tr.Class = re.Class
 			}
-			buf = append(buf, Transition{Label: label, Class: class, src: sr.aut, Target: t})
+			tr.src = sr.aut
 		}
 	}
 	return buf
@@ -407,8 +483,12 @@ func (n *Network) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 		// heartbeat models never have two enabled receivers on the same
 		// broadcast channel in one automaton; the first (declaration
 		// order) wins, matching UPPAAL's deterministic model layout.
-		var receivers []edgeRef
-		seen := make(map[int]bool)
+		if len(n.scratchSeen) != len(n.automata) {
+			n.scratchSeen = make([]bool, len(n.automata))
+		}
+		seen := n.scratchSeen
+		clear(seen)
+		receivers := n.scratchRecv[:0]
 		for _, rr := range n.recvEdges[ch] {
 			if rr.aut == sr.aut || seen[rr.aut] {
 				continue
@@ -419,6 +499,7 @@ func (n *Network) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 				seen[rr.aut] = true
 			}
 		}
+		n.scratchRecv = receivers
 		if committed != nil && !committed[sr.aut] {
 			anyCommitted := false
 			for _, rr := range receivers {
@@ -431,38 +512,40 @@ func (n *Network) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 				continue
 			}
 		}
-		t := s.Clone()
+		var tr *Transition
+		buf, tr = appendTarget(buf, s)
+		t := &tr.Target
 		t.Locs[sr.aut] = uint8(se.To)
 		if se.Update != nil {
-			se.Update(&t)
+			se.Update(t)
 		}
-		class := se.Class
+		tr.Label, tr.Class, tr.src = se.Label, se.Class, sr.aut
 		for _, rr := range receivers {
 			re := &n.automata[rr.aut].Edges[rr.edge]
 			t.Locs[rr.aut] = uint8(re.To)
 			if re.Update != nil {
-				re.Update(&t)
+				re.Update(t)
 			}
 			if re.Class != ClassDefault {
-				class = re.Class
+				tr.Class = re.Class
 			}
 		}
-		buf = append(buf, Transition{Label: se.Label, Class: class, src: sr.aut, Target: t})
 	}
 	return buf
 }
 
-// delay computes the tick transition if time may pass.
-func (n *Network) delay(s *State, committed []bool) (Transition, bool) {
+// appendDelay appends the tick transition to buf if time may pass.
+func (n *Network) appendDelay(s *State, committed []bool, buf []Transition) []Transition {
 	if committed != nil {
-		return Transition{}, false
+		return buf
 	}
 	for i, a := range n.automata {
 		if a.Locations[s.Locs[i]].Kind == Urgent {
-			return Transition{}, false
+			return buf
 		}
 	}
-	t := s.Clone()
+	grown, tr := appendTarget(buf, s)
+	t := &tr.Target
 	for i := range t.Clocks {
 		if t.Clocks[i] < n.clockCaps[i] {
 			t.Clocks[i]++
@@ -470,11 +553,14 @@ func (n *Network) delay(s *State, committed []bool) (Transition, bool) {
 	}
 	for i, a := range n.automata {
 		inv := a.Locations[s.Locs[i]].Invariant
-		if inv != nil && !inv(&t) {
-			return Transition{}, false
+		if inv != nil && !inv(t) {
+			// Retract the speculative entry: the shorter buf leaves the
+			// slot (and its slices) in spare capacity for the next reuse.
+			return buf
 		}
 	}
-	return Transition{Label: "tick", Delay: true, Target: t}, true
+	tr.Label, tr.Delay = "tick", true
+	return grown
 }
 
 // applyPriority implements the §6.1 fix: ClassTimeout transitions are
@@ -502,29 +588,40 @@ func (n *Network) applyPriority(s *State, buf []Transition, start int) []Transit
 	if !anyDue {
 		return buf
 	}
-	out := buf[:start]
-	for _, t := range buf[start:] {
-		if t.Class != ClassTimeout {
-			out = append(out, t)
+	// Filter by swapping rather than copying: a plain copy would leave a
+	// second Transition aliasing a survivor's Target slices in the spare
+	// capacity, which reuseTarget would later scribble over.
+	keep := start
+	for i := start; i < len(buf); i++ {
+		if buf[i].Class != ClassTimeout {
+			buf[keep], buf[i] = buf[i], buf[keep]
+			keep++
 		}
 	}
-	return out
+	return buf[:keep]
 }
 
 // mustMoveNow reports, per automaton, whether its current location's
 // invariant would fail after one tick — i.e. the automaton must take a
-// discrete transition before time passes.
+// discrete transition before time passes. The returned mask and the ticked
+// state are scratch buffers valid only until the next Successors call.
 func (n *Network) mustMoveNow(s *State) []bool {
-	t := s.Clone()
+	t := &n.scratchTick
+	t.Locs = append(t.Locs[:0], s.Locs...)
+	t.Clocks = append(t.Clocks[:0], s.Clocks...)
+	t.Vars = append(t.Vars[:0], s.Vars...)
 	for i := range t.Clocks {
 		if t.Clocks[i] < n.clockCaps[i] {
 			t.Clocks[i]++
 		}
 	}
-	out := make([]bool, len(n.automata))
+	if len(n.scratchMust) != len(n.automata) {
+		n.scratchMust = make([]bool, len(n.automata))
+	}
+	out := n.scratchMust
 	for i, a := range n.automata {
 		inv := a.Locations[s.Locs[i]].Invariant
-		out[i] = inv != nil && !inv(&t)
+		out[i] = inv != nil && !inv(t)
 	}
 	return out
 }
