@@ -1,0 +1,232 @@
+// Command hbconform checks the detector runtime against the timed-automata
+// models by differential trace checking (internal/conform).
+//
+// Walk mode (default): seeded random-walk campaigns per variant —
+//
+//	hbconform -variant all -walks 200 -seed 1
+//
+// Single-run mode (-horizon > 0): one fully specified, deterministic run —
+//
+//	hbconform -variant binary -tmin 2 -tmax 4 -fixed -horizon 30 \
+//	    -schedule 'crash t=9 node=0' -mutate expiry+1
+//
+// Exit status 1 when any divergence or verdict mismatch is found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/conform"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/mc"
+	"repro/internal/models"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+var variants = []models.Variant{
+	models.Binary, models.RevisedBinary, models.TwoPhase,
+	models.Static, models.Expanding, models.Dynamic,
+}
+
+func parseVariant(name string) (models.Variant, error) {
+	for _, v := range variants {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown variant %q (have all, %s)", name, variantNames())
+}
+
+func variantNames() string {
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+// loadSchedule reads a fault schedule from a file, or parses the flag
+// value itself when it is not a readable file (inline schedules).
+func loadSchedule(spec string) (*faults.Schedule, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	text := spec
+	if data, err := os.ReadFile(spec); err == nil {
+		text = string(data)
+	}
+	return faults.ParseSchedule(text)
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("hbconform", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		variant   = fs.String("variant", "all", "protocol variant, or all (walk mode only)")
+		walks     = fs.Int("walks", 200, "random walks per variant")
+		seed      = fs.Int64("seed", 1, "campaign seed (walk mode) or simulator seed (single-run mode)")
+		shrink    = fs.Bool("shrink", true, "minimise failing walks before reporting")
+		maxStates = fs.Int("max-states", 0, "state limit per specification LTS (0: default)")
+		schedule  = fs.String("schedule", "", "fault schedule: a file path or inline text")
+		tmin      = fs.Int("tmin", 2, "tmin (single-run mode)")
+		tmax      = fs.Int("tmax", 4, "tmax (single-run mode)")
+		n         = fs.Int("n", 1, "participants (single-run mode)")
+		fixed     = fs.Bool("fixed", false, "apply the §6 fixes (single-run mode)")
+		horizon   = fs.Int("horizon", 0, "virtual run length; > 0 selects single-run mode")
+		maxDelay  = fs.Int("maxdelay", 0, "per-direction link delay bound (single-run mode)")
+		mutate    = fs.String("mutate", "", "inject a named detector defect (single-run mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *horizon > 0 {
+		return runSingle(w, *variant, *tmin, *tmax, *n, *fixed, *horizon, *maxDelay, *seed, *maxStates, *schedule, *mutate)
+	}
+	if *schedule != "" || *mutate != "" {
+		fmt.Fprintln(w, "hbconform: -schedule/-mutate need single-run mode (set -horizon)")
+		return 2
+	}
+	return runWalks(w, *variant, *walks, *seed, *maxStates, *shrink)
+}
+
+func runSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, horizon, maxDelay int, seed int64, maxStates int, schedule, mutate string) int {
+	v, err := parseVariant(variantName)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: %v\n", err)
+		return 2
+	}
+	sched, err := loadSchedule(schedule)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: schedule: %v\n", err)
+		return 2
+	}
+	wrap, err := conform.Mutation(mutate)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: %v\n", err)
+		return 2
+	}
+	rc := conform.RunConfig{
+		Model: models.Config{
+			TMin: int32(tmin), TMax: int32(tmax),
+			Variant: v, N: n, Fixed: fixed,
+		},
+		Seed:     seed,
+		Horizon:  core.Tick(horizon),
+		MaxDelay: core.Tick(maxDelay),
+		Schedule: sched,
+		Wrap:     wrap,
+	}
+	opts := mc.Options{MaxStates: maxStates}
+	sp, err := conform.BuildSpec(rc.Model, opts)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: %v\n", err)
+		return 2
+	}
+	out, err := conform.Run(rc)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(w, "run %s: tmin=%d tmax=%d n=%d fixed=%v seed=%d horizon=%d events=%d lost=%d\n",
+		v, tmin, tmax, n, fixed, seed, horizon, len(out.Events), out.Lost)
+
+	status := 0
+	if d := sp.CheckTrace(out.Events, rc.Horizon); d != nil {
+		fmt.Fprintln(w)
+		if err := d.Render(w, "trace before divergence"); err != nil {
+			fmt.Fprintf(w, "hbconform: render: %v\n", err)
+			return 2
+		}
+		status = 1
+	} else {
+		fmt.Fprintln(w, "trace inclusion: conforms")
+	}
+
+	tv := conform.EvaluateTrace(rc.Model, out.Events, out.Lost, rc.Horizon)
+	if len(tv.Violations) == 0 {
+		fmt.Fprintln(w, "verdicts: no R1-R3 violations observed")
+		return status
+	}
+	verify := func(cfg models.Config, p models.Property) (models.Verdict, error) {
+		return models.Verify(cfg, p, opts)
+	}
+	diffs, err := conform.DiffVerdicts(rc.Model, tv, verify)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: verdicts: %v\n", err)
+		return 2
+	}
+	for _, d := range diffs {
+		state := "model agrees (violation reachable)"
+		if d.Mismatch {
+			state = "MISMATCH: model proves the property satisfied"
+			status = 1
+		}
+		for _, viol := range d.Runtime {
+			fmt.Fprintf(w, "verdict %v violated at t=%d (p[%d]): %s\n", d.Prop, viol.Time, viol.Proc, state)
+		}
+	}
+	return status
+}
+
+func runWalks(w io.Writer, variantName string, walks int, seed int64, maxStates int, shrink bool) int {
+	list := variants
+	if variantName != "all" {
+		v, err := parseVariant(variantName)
+		if err != nil {
+			fmt.Fprintf(w, "hbconform: %v\n", err)
+			return 2
+		}
+		list = []models.Variant{v}
+	}
+	status := 0
+	for _, v := range list {
+		ec := conform.ExploreConfig{
+			Variant: v, Walks: walks, Seed: seed,
+			MaxStates: maxStates, Shrink: shrink,
+		}
+		res, err := ec.Explore()
+		if err != nil {
+			fmt.Fprintf(w, "hbconform: %s: %v\n", v, err)
+			return 2
+		}
+		fmt.Fprintf(w, "conform %s: walks=%d clean=%d events=%d consistent-violations=%d failures=%d\n",
+			v, res.Walks, res.Clean, res.Events, res.ConsistentViolations, len(res.Failures))
+		for _, f := range res.Failures {
+			status = 1
+			reportFailure(w, v, f)
+		}
+	}
+	return status
+}
+
+func reportFailure(w io.Writer, v models.Variant, f conform.WalkFailure) {
+	rc, div := f.Run, f.Div
+	if f.Shrunk != nil {
+		rc, div = *f.Shrunk, f.ShrunkDiv
+	}
+	fmt.Fprintf(w, "\nwalk %d FAILED; reproduce with:\n  hbconform -variant %s -tmin %d -tmax %d -n %d -fixed=%v -seed %d -horizon %d -maxdelay %d",
+		f.Walk, v, rc.Model.TMin, rc.Model.TMax, rc.Model.N, rc.Model.Fixed, rc.Seed, rc.Horizon, rc.MaxDelay)
+	if rc.Schedule != nil {
+		fmt.Fprintf(w, " -schedule '%s'", strings.TrimSpace(strings.ReplaceAll(rc.Schedule.Format(), "\n", "; ")))
+	}
+	fmt.Fprintln(w)
+	if div != nil {
+		if err := div.Render(w, "trace before divergence"); err != nil {
+			fmt.Fprintf(w, "hbconform: render: %v\n", err)
+		}
+	}
+	for _, d := range f.Mismatches {
+		for _, viol := range d.Runtime {
+			fmt.Fprintf(w, "verdict %v violated at t=%d (p[%d]) but the model proves it satisfied\n",
+				d.Prop, viol.Time, viol.Proc)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden runs hbconform with args, requires exit status want, and
+// compares the output against testdata/<name>.golden. `go test -update`
+// rewrites the files.
+func checkGolden(t *testing.T, name string, want int, args ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if code := run(args, &buf); code != want {
+		t.Fatalf("run(%v) = %d, want %d\n%s", args, code, want, buf.String())
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantOut, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update` in cmd/hbconform to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), wantOut) {
+		t.Fatalf("output differs from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), wantOut)
+	}
+}
+
+// TestConformGoldenMutantDivergence pins the divergence report for the expiry+1
+// mutant: the crash of p[0] forces the model to inactivate p[1] at the
+// bound, the late watchdog stays silent, and the checker renders the MSC
+// prefix plus the stuck-time explanation. This is the user-facing shape of
+// every conformance failure, so it gets a golden file.
+func TestConformGoldenMutantDivergence(t *testing.T) {
+	checkGolden(t, "mutant_expiry", 1,
+		"-variant", "binary", "-tmin", "2", "-tmax", "4", "-fixed",
+		"-horizon", "30", "-schedule", "crash t=9 node=0",
+		"-mutate", "expiry+1", "-seed", "3")
+}
+
+// TestConformGoldenCleanRun pins the conforming single-run output, including the
+// summary line and verdict section.
+func TestConformGoldenCleanRun(t *testing.T) {
+	checkGolden(t, "clean_run", 0,
+		"-variant", "binary", "-tmin", "2", "-tmax", "4", "-fixed",
+		"-horizon", "24", "-seed", "1")
+}
+
+// TestConformGoldenConsistentViolation pins the verdict-diff output for an
+// unfixed run that overshoots the claimed bound — the runtime monitor
+// fires and the model checker confirms the violation is reachable, so the
+// run still exits 0.
+func TestConformGoldenConsistentViolation(t *testing.T) {
+	checkGolden(t, "consistent_violation", 0,
+		"-variant", "binary", "-tmin", "1", "-tmax", "3",
+		"-horizon", "20", "-schedule", "loss t=0 all pgb=1 pbg=0 lb=1",
+		"-seed", "5")
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-variant", "nope", "-horizon", "5"}, &buf); code != 2 {
+		t.Fatalf("unknown variant: run = %d, want 2\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-mutate", "expiry+1"}, &buf); code != 2 {
+		t.Fatalf("mutate without -horizon: run = %d, want 2\n%s", code, buf.String())
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/mc"
@@ -18,47 +19,56 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("hbtrace", flag.ContinueOnError)
+	fs.SetOutput(w)
 	var (
-		fig       = flag.String("fig", "", "figure to reproduce (10a, 10b, 11, 12, 13); empty = all")
-		list      = flag.Bool("list", false, "list the figure catalogue")
-		maxStates = flag.Int("max-states", 20_000_000, "state-space limit")
+		fig       = fs.String("fig", "", "figure to reproduce (10a, 10b, 11, 12, 13); empty = all")
+		list      = fs.Bool("list", false, "list the figure catalogue")
+		maxStates = fs.Int("max-states", 20_000_000, "state-space limit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, f := range models.Figures() {
-			fmt.Printf("%-4s %v/%v tmin=%d tmax=%d: %s\n",
+			fmt.Fprintf(w, "%-4s %v/%v tmin=%d tmax=%d: %s\n",
 				f.ID, f.Cfg.Variant, f.Prop, f.Cfg.TMin, f.Cfg.TMax, f.Title)
 		}
-		return
+		return 0
 	}
 
 	figures := models.Figures()
 	if *fig != "" {
 		f, err := models.FindFigure(*fig)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hbtrace:", err)
-			os.Exit(1)
+			fmt.Fprintln(w, "hbtrace:", err)
+			return 1
 		}
 		figures = []models.Figure{f}
 	}
 	opts := mc.Options{MaxStates: *maxStates}
 	for _, f := range figures {
-		if err := render(f, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "hbtrace:", err)
-			os.Exit(1)
+		if err := render(w, f, opts); err != nil {
+			fmt.Fprintln(w, "hbtrace:", err)
+			return 1
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	return 0
 }
 
-func render(f models.Figure, opts mc.Options) error {
+func render(w io.Writer, f models.Figure, opts mc.Options) error {
 	steps, err := witness(f, opts)
 	if err != nil {
 		return err
 	}
 	title := fmt.Sprintf("Figure %s — %s", f.ID, f.Title)
-	return trace.Render(os.Stdout, title, steps)
+	return trace.Render(w, title, steps)
 }
 
 // witness finds the figure's counter-example. Figure 10a additionally

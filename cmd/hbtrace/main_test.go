@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden runs hbtrace with args and compares the output against
+// testdata/<name>.golden. `go test -update` rewrites the files.
+func checkGolden(t *testing.T, name string, args ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if code := run(args, &buf); code != 0 {
+		t.Fatalf("run(%v) = %d\n%s", args, code, buf.String())
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update ./cmd/hbtrace` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output differs from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// The golden MSCs pin the model-checker witnesses: the BFS explores
+// deterministically, so any change to these charts means the models, the
+// checker's search order, or the renderer changed.
+func TestGoldenFigure11(t *testing.T) { checkGolden(t, "fig11", "-fig", "11") }
+func TestGoldenFigure12(t *testing.T) { checkGolden(t, "fig12", "-fig", "12") }
+func TestGoldenList(t *testing.T)     { checkGolden(t, "list", "-list") }
+
+func TestUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-fig", "99"}, &buf); code != 1 {
+		t.Fatalf("run(-fig 99) = %d, want 1\n%s", code, buf.String())
+	}
+}

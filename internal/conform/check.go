@@ -1,0 +1,197 @@
+package conform
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// Divergence reports the first point where a recorded trace leaves the
+// model's behaviour.
+type Divergence struct {
+	Cfg models.Config
+	// Events is the full recorded trace; Events[:Index] was consumed
+	// before the divergence.
+	Events []Event
+	// Index is the offending event's position, or len(Events) when the
+	// trace ran out while the model still forced an action.
+	Index int
+	// Time is the virtual time of the divergence.
+	Time core.Tick
+	// Label is the runtime event no model execution matches; LabelTick
+	// when the model refused to let time pass (a forced visible action the
+	// runtime never produced).
+	Label string
+	// Expected lists the visible labels (and possibly LabelTick) the model
+	// allows at the divergence point, sorted.
+	Expected []string
+}
+
+// Error implements error, so a Divergence can travel as one.
+func (d *Divergence) Error() string {
+	if d.Label == LabelTick {
+		return fmt.Sprintf("conform: %v diverges at t=%d: model forces one of [%s], runtime produced nothing",
+			d.Cfg.Variant, d.Time, strings.Join(d.Expected, ", "))
+	}
+	return fmt.Sprintf("conform: %v diverges at t=%d (event %d): runtime produced %q, model allows [%s]",
+		d.Cfg.Variant, d.Time, d.Index, d.Label, strings.Join(d.Expected, ", "))
+}
+
+// mscTail bounds the rendered prefix of a divergence report.
+const mscTail = 40
+
+// Render writes a human-readable divergence report: the consumed trace
+// prefix as an ASCII message sequence chart (internal/trace), then the
+// offending step and what the model would have allowed.
+func (d *Divergence) Render(w io.Writer, title string) error {
+	prefix := d.Events[:d.Index]
+	skipped := 0
+	if len(prefix) > mscTail {
+		skipped = len(prefix) - mscTail
+		prefix = prefix[skipped:]
+	}
+	steps := make([]mc.Step, 0, len(prefix))
+	for _, ev := range prefix {
+		steps = append(steps, mc.Step{Label: ev.Label, Time: int(ev.Time)})
+	}
+	if skipped > 0 {
+		if _, err := fmt.Fprintf(w, "… %d earlier events omitted …\n", skipped); err != nil {
+			return err
+		}
+	}
+	if err := trace.Render(w, title, steps); err != nil {
+		return err
+	}
+	if d.Label == LabelTick {
+		if _, err := fmt.Fprintf(w, "\nstuck at t=%d: the model forces a visible action before time can pass\n", d.Time); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "\ndivergence at t=%d (event %d): runtime produced %q\n", d.Time, d.Index, d.Label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "model allows: %s\n", strings.Join(d.Expected, ", "))
+	return err
+}
+
+// checker advances a frontier (antichain) of model states over a trace.
+// mark is a generation-stamped membership set, so no clearing between
+// steps.
+type checker struct {
+	sp   *Spec
+	cur  []int32
+	next []int32
+	mark []int32
+	gen  int32
+}
+
+func newChecker(sp *Spec) *checker {
+	c := &checker{sp: sp, mark: make([]int32, sp.NumStates)}
+	c.gen++
+	c.mark[0] = c.gen
+	c.cur = c.closure(append(c.cur, 0))
+	return c
+}
+
+// closure extends set (whose members are marked with the current
+// generation) with everything reachable by tau steps, in place.
+func (c *checker) closure(set []int32) []int32 {
+	sp := c.sp
+	for i := 0; i < len(set); i++ {
+		s := set[i]
+		for j := sp.tauOff[s]; j < sp.tauOff[s+1]; j++ {
+			t := sp.tauTo[j]
+			if c.mark[t] != c.gen {
+				c.mark[t] = c.gen
+				set = append(set, t)
+			}
+		}
+	}
+	return set
+}
+
+// step advances the frontier over one visible label (LabelTick for time).
+// It reports false — leaving the frontier untouched, so Expected can be
+// computed — when no model state can take the label.
+func (c *checker) step(label int32) bool {
+	sp := c.sp
+	c.gen++
+	out := c.next[:0]
+	for _, s := range c.cur {
+		for j := sp.visOff[s]; j < sp.visOff[s+1]; j++ {
+			e := sp.vis[j]
+			if e.label == label && c.mark[e.to] != c.gen {
+				c.mark[e.to] = c.gen
+				out = append(out, e.to)
+			}
+		}
+	}
+	if len(out) == 0 {
+		c.next = out
+		return false
+	}
+	out = c.closure(out)
+	c.next = c.cur
+	c.cur = out
+	return true
+}
+
+// enabled returns the sorted visible labels the current frontier can take.
+func (c *checker) enabled() []string {
+	sp := c.sp
+	seen := make(map[int32]bool, 8)
+	var out []string
+	for _, s := range c.cur {
+		for j := sp.visOff[s]; j < sp.visOff[s+1]; j++ {
+			if id := sp.vis[j].label; !seen[id] {
+				seen[id] = true
+				out = append(out, sp.labelNames[id])
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckTrace replays a recorded trace against the specification and
+// returns the first divergence, or nil when every event (and the passage
+// of time up to horizon) is matched by some model execution. Events must
+// be in recorded order; an event timestamped earlier than the checker's
+// current time (possible under wall clocks) is replayed at the current
+// time.
+func (sp *Spec) CheckTrace(events []Event, horizon core.Tick) *Divergence {
+	c := newChecker(sp)
+	now := core.Tick(0)
+	diverge := func(idx int, label string) *Divergence {
+		return &Divergence{
+			Cfg: sp.Cfg, Events: events, Index: idx,
+			Time: now, Label: label, Expected: c.enabled(),
+		}
+	}
+	advance := func(to core.Tick, idx int) *Divergence {
+		for now < to {
+			if !c.step(sp.tickID) {
+				return diverge(idx, LabelTick)
+			}
+			now++
+		}
+		return nil
+	}
+	for i, ev := range events {
+		if d := advance(ev.Time, i); d != nil {
+			return d
+		}
+		id, known := sp.labelIDs[ev.Label]
+		if !known || !c.step(id) {
+			return diverge(i, ev.Label)
+		}
+	}
+	return advance(horizon, len(events))
+}

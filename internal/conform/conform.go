@@ -1,0 +1,91 @@
+// Package conform checks the detector runtime against the timed-automata
+// models: a differential, trace-based conformance layer in the spirit of
+// runtime verification of distributed protocols.
+//
+// The pieces:
+//
+//   - A Recorder (a detector.Observer) abstracts every machine step of a
+//     running cluster into the event alphabet internal/models uses for LTS
+//     labels — "p[0]: send beat", "deliver beat to p[1]", "timeout p[0]",
+//     "inactivate nv p[1]", … — with virtual timestamps. It works over any
+//     clock; under the discrete-event simulator the recorded order is the
+//     execution order.
+//   - A Spec is the variant's model LTS (built monitor-free via
+//     mc.BuildLTS) with unobservable labels hidden and the join-delivery
+//     labels merged into the plain delivery labels (the wire does not
+//     distinguish them). Spec.CheckTrace replays a recorded trace by
+//     antichain simulation: a frontier of model states is advanced through
+//     tau-closure, "tick" steps for time passing, and the visible labels of
+//     the trace. An empty frontier is a divergence — the runtime did
+//     something (or let time pass) that no model execution matches — and is
+//     reported with the consumed prefix as an ASCII message sequence chart.
+//   - EvaluateTrace re-evaluates the paper's requirements R1–R3 directly
+//     on a recorded trace, so chaos campaigns double as spec-conformance
+//     runs, and DiffVerdicts cross-checks runtime verdicts against the
+//     model checker's.
+//   - Explore drives seeded random walks (randomised timing constants,
+//     node counts, fault schedules) through all of the above and shrinks
+//     failing runs to minimal schedules.
+//
+// Scope: message loss is unobservable at the runtime level (a lost beat
+// leaves no event), so the checker tracks the lost-versus-in-flight
+// ambiguity inside the frontier. Graceful leave and process restart are
+// excluded from conformance runs: the runtime's leave protocol
+// (leaver-initiated, with an out-of-band coordinator acknowledgement) is
+// structurally different from the model's reply-piggybacked leave, and
+// restart has no model counterpart. Their events carry honest non-model
+// labels, so a trace containing them is reported as divergent rather than
+// silently accepted.
+package conform
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Event is one abstract runtime event: a model-alphabet label at a
+// virtual time.
+type Event struct {
+	Time  core.Tick
+	Label string
+}
+
+// LabelTick is the time-passing label of the model LTS. A Divergence with
+// this label means the model forced a visible action at Time that the
+// runtime did not produce.
+const LabelTick = "tick"
+
+func pname(i int) string { return fmt.Sprintf("p[%d]", i) }
+
+// Label constructors for the shared runtime/model alphabet.
+func labelDeliverToP0(from int) string {
+	return fmt.Sprintf("deliver beat to p[0] from %s", pname(from))
+}
+
+func labelDeliverLeaveToP0(from int) string {
+	return fmt.Sprintf("deliver leave beat to p[0] from %s", pname(from))
+}
+
+func labelDeliverToP(i int) string { return fmt.Sprintf("deliver beat to %s", pname(i)) }
+
+func labelSendBeat(i int) string { return fmt.Sprintf("%s: send beat", pname(i)) }
+
+func labelSendJoin(i int) string { return fmt.Sprintf("%s: send join beat", pname(i)) }
+
+func labelSendLeave(i int) string { return fmt.Sprintf("%s: send leave beat", pname(i)) }
+
+func labelDecideLeave(i int) string { return fmt.Sprintf("%s: decide leave", pname(i)) }
+
+func labelInactivate(i int) string { return fmt.Sprintf("inactivate nv %s", pname(i)) }
+
+func labelCrash(i int) string { return fmt.Sprintf("crash %s", pname(i)) }
+
+const labelTimeoutP0 = "timeout p[0]"
+
+// parseLabel matches a label against a one-verb format like
+// "crash p[%d]", extracting the process index.
+func parseLabel(label, format string, proc *int) bool {
+	n, err := fmt.Sscanf(label, format, proc)
+	return err == nil && n == 1
+}

@@ -1,0 +1,280 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/mc"
+	"repro/internal/models"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// ExploreConfig drives a seeded random-walk conformance campaign for one
+// variant: many short deterministic runs with randomised timing
+// constants, node counts, link delays and fault schedules, each recorded
+// and checked for trace inclusion plus R1–R3 verdict consistency.
+type ExploreConfig struct {
+	Variant models.Variant
+	// Walks is the number of runs (default 100).
+	Walks int
+	// Seed makes the whole campaign deterministic: walk w derives its
+	// parameters from Seed and w alone.
+	Seed int64
+	// MaxStates bounds each specification LTS (0: mc's default).
+	MaxStates int
+	// Shrink minimises failing runs (drop schedule events, trim horizon,
+	// zero link delay) before reporting.
+	Shrink bool
+	// Verify overrides the model-checking backend for verdict diffing;
+	// nil uses models.Verify, cached per (config, property).
+	Verify VerifyFunc
+}
+
+// WalkFailure is one non-conforming walk.
+type WalkFailure struct {
+	Walk int
+	Run  RunConfig
+	// Div is the trace divergence (nil for pure verdict mismatches).
+	Div *Divergence
+	// Mismatches are verdict diffs where the runtime violated a property
+	// the model checker proves satisfied.
+	Mismatches []VerdictDiff
+	// Shrunk is the minimised reproduction, when shrinking was on and
+	// succeeded; ShrunkDiv is its divergence.
+	Shrunk    *RunConfig
+	ShrunkDiv *Divergence
+}
+
+// ExploreResult summarises a campaign.
+type ExploreResult struct {
+	Variant models.Variant
+	Walks   int
+	// Clean counts fully conforming walks.
+	Clean int
+	// Events counts recorded events across all walks.
+	Events int
+	// ConsistentViolations counts runtime requirement violations that the
+	// model checker confirms are possible in the model too — expected for
+	// unfixed configurations, and evidence the verdict monitors fire.
+	ConsistentViolations int
+	Failures             []WalkFailure
+}
+
+// Explore runs the campaign. It returns an error only for infrastructure
+// failures (spec construction, broken schedules); non-conformance lands
+// in the result's Failures.
+func (ec ExploreConfig) Explore() (*ExploreResult, error) {
+	walks := ec.Walks
+	if walks <= 0 {
+		walks = 100
+	}
+	opts := mc.Options{MaxStates: ec.MaxStates}
+	specs := make(map[models.Config]*Spec)
+	verify := ec.Verify
+	if verify == nil {
+		type vkey struct {
+			cfg  models.Config
+			prop models.Property
+		}
+		cache := make(map[vkey]models.Verdict)
+		verify = func(cfg models.Config, p models.Property) (models.Verdict, error) {
+			if v, ok := cache[vkey{cfg, p}]; ok {
+				return v, nil
+			}
+			v, err := models.Verify(cfg, p, opts)
+			if err == nil {
+				cache[vkey{cfg, p}] = v
+			}
+			return v, err
+		}
+	}
+
+	res := &ExploreResult{Variant: ec.Variant, Walks: walks}
+	for w := 0; w < walks; w++ {
+		rng := rand.New(rand.NewSource(ec.Seed + int64(w)*0x9e3779b97f4a7c))
+		rc := walkRun(ec.Variant, rng)
+		sp, ok := specs[rc.Model]
+		if !ok {
+			var err error
+			sp, err = BuildSpec(rc.Model, opts)
+			if err != nil {
+				return nil, err
+			}
+			specs[rc.Model] = sp
+		}
+		out, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("conform: walk %d: %w", w, err)
+		}
+		res.Events += len(out.Events)
+		div := sp.CheckTrace(out.Events, rc.Horizon)
+		tv := EvaluateTrace(rc.Model, out.Events, out.Lost, rc.Horizon)
+		diffs, err := DiffVerdicts(rc.Model, tv, verify)
+		if err != nil {
+			return nil, fmt.Errorf("conform: walk %d: %w", w, err)
+		}
+		var mismatches []VerdictDiff
+		for _, d := range diffs {
+			if d.Mismatch {
+				mismatches = append(mismatches, d)
+			} else {
+				res.ConsistentViolations += len(d.Runtime)
+			}
+		}
+		if div == nil && len(mismatches) == 0 {
+			res.Clean++
+			continue
+		}
+		fail := WalkFailure{Walk: w, Run: rc, Div: div, Mismatches: mismatches}
+		if ec.Shrink && div != nil {
+			if shrunk, sdiv, err := ShrinkRun(rc, sp); err == nil {
+				fail.Shrunk, fail.ShrunkDiv = &shrunk, sdiv
+			}
+		}
+		res.Failures = append(res.Failures, fail)
+	}
+	return res, nil
+}
+
+// walkTimings are the (tmin, tmax) pairs walks draw from: small enough to
+// keep specification LTSes cheap, varied enough to exercise the timing
+// boundaries.
+var walkTimings = [...][2]int32{{1, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 3}, {2, 4}}
+
+// walkRun derives one run's parameters from the walk's rng.
+func walkRun(variant models.Variant, rng *rand.Rand) RunConfig {
+	tm := walkTimings[rng.Intn(len(walkTimings))]
+	n := 1
+	// Two participants only for the static variant: its N=2 LTS stays
+	// around 10^5 states, while the expanding/dynamic join machinery
+	// pushes N=2 into the tens of millions (minutes per spec build).
+	// Static N=2 covers multi-participant interleaving; the join protocol
+	// is exercised at N=1.
+	if variant == models.Static {
+		n = 1 + rng.Intn(2)
+	}
+	fixed := rng.Intn(2) == 0
+	// Random link delay only under the fixed semantics: there both the
+	// runtime (timer requeue) and the model (receive priority) order
+	// same-instant deliveries before timeouts. Unfixed, FIFO scheduling
+	// can resolve that race differently than the model's busy-dropping
+	// capacity-one channel — a known modelling gap, not a detector bug.
+	var maxDelay core.Tick
+	if fixed && tm[0] >= 2 && rng.Intn(2) == 0 {
+		maxDelay = core.Tick(tm[0] / 2)
+	}
+	horizon := core.Tick(6*int(tm[1]) + rng.Intn(8))
+	return RunConfig{
+		Model: models.Config{
+			TMin: tm[0], TMax: tm[1],
+			Variant: variant, N: n, Fixed: fixed,
+		},
+		Seed:     rng.Int63(),
+		Horizon:  horizon,
+		MaxDelay: maxDelay,
+		Schedule: walkSchedule(rng, n, horizon),
+	}
+}
+
+// walkSchedule draws 0–2 model-compatible fault events.
+func walkSchedule(rng *rand.Rand, n int, horizon core.Tick) *faults.Schedule {
+	num := rng.Intn(3)
+	if num == 0 {
+		return nil
+	}
+	s := &faults.Schedule{Seed: rng.Int63()}
+	for k := 0; k < num; k++ {
+		at := sim.Time(rng.Intn(int(horizon)))
+		switch rng.Intn(4) {
+		case 0:
+			s.Events = append(s.Events, faults.Event{
+				At: at, Kind: faults.KindCrash, Node: netem.NodeID(rng.Intn(n + 1)),
+			})
+		case 1:
+			ge := faults.GilbertElliott{
+				PGoodBad: 0.2 + 0.3*rng.Float64(),
+				PBadGood: 0.3 + 0.5*rng.Float64(),
+				LossGood: 0,
+				LossBad:  0.5 + 0.5*rng.Float64(),
+			}
+			s.Events = append(s.Events, faults.Event{
+				At: at, Kind: faults.KindLoss, AllLinks: true, GE: &ge,
+			})
+		case 2:
+			p := netem.NodeID(1 + rng.Intn(n))
+			from, to := netem.NodeID(0), p
+			if rng.Intn(2) == 0 {
+				from, to = p, netem.NodeID(0)
+			}
+			s.Events = append(s.Events,
+				faults.Event{At: at, Kind: faults.KindLinkDown, From: from, To: to},
+				faults.Event{At: at + sim.Time(1+rng.Intn(6)), Kind: faults.KindLinkUp, From: from, To: to},
+			)
+		default:
+			node := netem.NodeID(rng.Intn(n + 1))
+			s.Events = append(s.Events,
+				faults.Event{At: at, Kind: faults.KindPartition, Node: node},
+				faults.Event{At: at + sim.Time(1+rng.Intn(6)), Kind: faults.KindHeal, Node: node},
+			)
+		}
+	}
+	return s
+}
+
+// ShrinkRun minimises a failing run while it keeps diverging: greedily
+// drop schedule events, then trim the horizon to just past the
+// divergence, then zero the link delay. Runs are deterministic, so every
+// candidate is simply re-executed.
+func ShrinkRun(rc RunConfig, sp *Spec) (RunConfig, *Divergence, error) {
+	fails := func(c RunConfig) *Divergence {
+		out, err := Run(c)
+		if err != nil {
+			return nil
+		}
+		return sp.CheckTrace(out.Events, c.Horizon)
+	}
+	best := rc
+	div := fails(best)
+	if div == nil {
+		return rc, nil, fmt.Errorf("conform: shrink: run no longer diverges")
+	}
+	for changed := true; changed; {
+		changed = false
+		if best.Schedule == nil {
+			break
+		}
+		for i := range best.Schedule.Events {
+			cand := best
+			if len(best.Schedule.Events) == 1 {
+				cand.Schedule = nil
+			} else {
+				sched := *best.Schedule
+				sched.Events = slices.Delete(slices.Clone(best.Schedule.Events), i, i+1)
+				cand.Schedule = &sched
+			}
+			if d := fails(cand); d != nil {
+				best, div, changed = cand, d, true
+				break
+			}
+		}
+	}
+	if div.Time+1 < best.Horizon {
+		cand := best
+		cand.Horizon = div.Time + 1
+		if d := fails(cand); d != nil {
+			best, div = cand, d
+		}
+	}
+	if best.MaxDelay > 0 {
+		cand := best
+		cand.MaxDelay = 0
+		if d := fails(cand); d != nil {
+			best, div = cand, d
+		}
+	}
+	return best, div, nil
+}

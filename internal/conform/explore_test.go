@@ -1,0 +1,234 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/faults"
+	"repro/internal/mc"
+	"repro/internal/models"
+)
+
+// TestExploreSmallCampaign runs a miniature walk campaign end to end and
+// checks the books balance: every walk is either clean or a failure, and
+// the campaign is deterministic in its seed.
+func TestExploreSmallCampaign(t *testing.T) {
+	ec := ExploreConfig{Variant: models.Binary, Walks: 6, Seed: 2, Shrink: true}
+	res, err := ec.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Walks != 6 || res.Clean+len(res.Failures) != 6 {
+		t.Fatalf("books don't balance: %+v", res)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("healthy detector failed a walk: %+v", res.Failures[0])
+	}
+	if res.Events == 0 {
+		t.Fatal("no events recorded across the campaign")
+	}
+	again, err := ec.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Clean != res.Clean || again.Events != res.Events ||
+		again.ConsistentViolations != res.ConsistentViolations {
+		t.Fatalf("campaign not deterministic: %+v vs %+v", res, again)
+	}
+}
+
+// TestShrinkRunMinimisesMutant shrinks the expiry+1 repro: the padded
+// link-failure event is irrelevant and must be dropped, the crash is
+// load-bearing and must survive, and the horizon is trimmed to just past
+// the divergence.
+func TestShrinkRunMinimisesMutant(t *testing.T) {
+	wrap, err := Mutation("expiry+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := models.Config{TMin: 2, TMax: 4, Variant: models.Binary, N: 1, Fixed: true}
+	rc := RunConfig{
+		Model: model,
+		Seed:  3,
+		Schedule: &faults.Schedule{Events: []faults.Event{
+			{At: 25, Kind: faults.KindLinkDown, From: 1, To: 0},
+			{At: 9, Kind: faults.KindCrash, Node: 0},
+			{At: 27, Kind: faults.KindLinkUp, From: 1, To: 0},
+		}},
+		Horizon: 40,
+		Wrap:    wrap,
+	}
+	sp, err := BuildSpec(model, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, div, err := ShrinkRun(rc, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("shrunk run no longer diverges")
+	}
+	if n := len(shrunk.Schedule.Events); n != 1 || shrunk.Schedule.Events[0].Kind != faults.KindCrash {
+		t.Fatalf("shrink kept %d events: %+v", n, shrunk.Schedule.Events)
+	}
+	if shrunk.Horizon != div.Time+1 {
+		t.Fatalf("horizon %d not trimmed to %d", shrunk.Horizon, div.Time+1)
+	}
+
+	// The report surface: Error() names the stuck time, Render draws the
+	// MSC prefix plus the model's allowed set.
+	if msg := div.Error(); !strings.Contains(msg, "stuck") && !strings.Contains(msg, "diverge") {
+		t.Fatalf("unhelpful divergence error: %q", msg)
+	}
+	var b strings.Builder
+	if err := div.Render(&b, "shrunk divergence"); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"shrunk divergence", "model allows", "inactivate nv p[1]"} {
+		if !strings.Contains(b.String(), frag) {
+			t.Fatalf("render missing %q:\n%s", frag, b.String())
+		}
+	}
+
+	// A healthy run refuses to shrink.
+	if _, _, err := ShrinkRun(RunConfig{Model: model, Seed: 3, Horizon: 20}, sp); err == nil {
+		t.Fatal("ShrinkRun accepted a conforming run")
+	}
+}
+
+func TestDiffVerdicts(t *testing.T) {
+	cfg := models.Config{TMin: 2, TMax: 4, Variant: models.Binary, N: 1, Fixed: true}
+	tv := TraceVerdicts{LossFree: true, Violations: []ReqViolation{
+		{Prop: models.R1, Proc: 1, Time: 11},
+	}}
+	calls := 0
+	fake := func(satisfied bool) VerifyFunc {
+		return func(models.Config, models.Property) (models.Verdict, error) {
+			calls++
+			return models.Verdict{Satisfied: satisfied}, nil
+		}
+	}
+	diffs, err := DiffVerdicts(cfg, tv, fake(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !diffs[0].Mismatch || diffs[0].Prop != models.R1 {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	diffs, err = DiffVerdicts(cfg, tv, fake(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || diffs[0].Mismatch {
+		t.Fatalf("consistent violation flagged as mismatch: %+v", diffs)
+	}
+	// Properties without runtime violations are never model-checked.
+	if calls != 2 {
+		t.Fatalf("verify called %d times, want 2", calls)
+	}
+}
+
+func TestSpecAlphabetAndCampaignCheck(t *testing.T) {
+	check := &CampaignCheck{Model: models.Config{TMin: 1, TMax: 2, Variant: models.Binary, N: 1, Fixed: true}}
+	sp, err := check.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2, _ := check.Spec(); sp2 != sp {
+		t.Fatal("CampaignCheck rebuilt the spec")
+	}
+	alpha := sp.Alphabet()
+	for _, want := range []string{LabelTick, "timeout p[0]", "p[0]: send beat",
+		"deliver beat to p[1]", "deliver beat to p[0] from p[1]", "inactivate nv p[1]"} {
+		found := false
+		for _, a := range alpha {
+			if a == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("alphabet missing %q: %v", want, alpha)
+		}
+	}
+	if _, err := ClusterFor(models.Config{TMin: 1, TMax: 2, Variant: models.Binary, N: 1, FixBounds: true}); err == nil {
+		t.Fatal("ablation config accepted")
+	}
+}
+
+// TestLabelConstructors pins the event vocabulary against its parser: the
+// verdict monitors rely on parseLabel inverting every constructor.
+func TestLabelConstructors(t *testing.T) {
+	var proc int
+	for _, tc := range []struct {
+		label, format string
+		proc          int
+	}{
+		{labelDeliverToP0(3), "deliver beat to p[0] from p[%d]", 3},
+		{labelDeliverLeaveToP0(2), "deliver leave beat to p[0] from p[%d]", 2},
+		{labelDeliverToP(4), "deliver beat to p[%d]", 4},
+		{labelSendJoin(1), "p[%d]: send join beat", 1},
+		{labelSendLeave(5), "p[%d]: send leave beat", 5},
+		{labelDecideLeave(6), "p[%d]: decide leave", 6},
+		{labelInactivate(7), "inactivate nv p[%d]", 7},
+		{labelCrash(8), "crash p[%d]", 8},
+	} {
+		if !parseLabel(tc.label, tc.format, &proc) || proc != tc.proc {
+			t.Fatalf("parseLabel(%q, %q) failed (proc=%d)", tc.label, tc.format, proc)
+		}
+	}
+	if parseLabel(labelSendBeat(1), "deliver beat to p[%d]", &proc) {
+		t.Fatal("parseLabel matched the wrong shape")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	r.ObserveStep(1, 3, detector.Trigger{Kind: detector.TriggerCrash},
+		[]core.Action{core.Inactivate{Voluntary: true}})
+	if ev := r.Events(); len(ev) != 1 || ev[0].Label != labelCrash(1) || ev[0].Time != 3 {
+		t.Fatalf("events = %v", ev)
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("reset did not clear events")
+	}
+}
+
+// TestSkewMachineClamp: the mutation wrapper clamps skewed delays to one
+// tick so a mutant cannot busy-loop the simulator, and passes everything
+// else through.
+func TestSkewMachineClamp(t *testing.T) {
+	inner := fakeMachine{actions: []core.Action{
+		core.SetTimer{ID: core.TimerExpiry, Delay: 1},
+		core.SetTimer{ID: core.TimerRound, Delay: 5},
+	}}
+	sk := &skewMachine{inner: inner, timer: core.TimerExpiry, delta: -3}
+	for _, acts := range [][]core.Action{
+		sk.Start(0), sk.OnTimer(core.TimerExpiry, 1), sk.OnBeat(core.Beat{}, 2), sk.Crash(3),
+	} {
+		if st := acts[0].(core.SetTimer); st.Delay != 1 {
+			t.Fatalf("clamped delay = %d, want 1", st.Delay)
+		}
+		if st := acts[1].(core.SetTimer); st.Delay != 5 {
+			t.Fatalf("other timer skewed: %d", st.Delay)
+		}
+	}
+	if sk.Status() != core.StatusActive {
+		t.Fatalf("status = %v", sk.Status())
+	}
+}
+
+type fakeMachine struct{ actions []core.Action }
+
+func (f fakeMachine) Start(core.Tick) []core.Action { return append([]core.Action(nil), f.actions...) }
+func (f fakeMachine) OnTimer(core.TimerID, core.Tick) []core.Action {
+	return append([]core.Action(nil), f.actions...)
+}
+func (f fakeMachine) OnBeat(core.Beat, core.Tick) []core.Action {
+	return append([]core.Action(nil), f.actions...)
+}
+func (f fakeMachine) Crash(core.Tick) []core.Action { return append([]core.Action(nil), f.actions...) }
+func (f fakeMachine) Status() core.Status           { return core.StatusActive }

@@ -1,0 +1,82 @@
+package conform
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+)
+
+// Mutation returns a machine wrapper injecting a named, deliberate defect
+// into the detector — the classic mutation-testing check that the
+// conformance layer actually catches timing bugs:
+//
+//   - "expiry+1": every participant arms its inactivation watchdog one
+//     tick late. Caught as a stuck-time divergence: once beats stop (crash
+//     p[0]), the model forces "inactivate nv p[i]" at the bound, and the
+//     runtime produces nothing for one more tick.
+//   - "round-1": the coordinator arms its round timer one tick early.
+//     Caught as an unexpected "timeout p[0]": the model's timeout guard
+//     requires the full round to elapse.
+func Mutation(name string) (func(netem.NodeID, core.Machine) core.Machine, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "expiry+1":
+		return func(id netem.NodeID, m core.Machine) core.Machine {
+			if id == netem.NodeID(core.CoordinatorID) {
+				return m
+			}
+			return &skewMachine{inner: m, timer: core.TimerExpiry, delta: 1}
+		}, nil
+	case "round-1":
+		return func(id netem.NodeID, m core.Machine) core.Machine {
+			if id != netem.NodeID(core.CoordinatorID) {
+				return m
+			}
+			return &skewMachine{inner: m, timer: core.TimerRound, delta: -1}
+		}, nil
+	default:
+		return nil, fmt.Errorf("conform: unknown mutation %q (have expiry+1, round-1)", name)
+	}
+}
+
+// skewMachine shifts every SetTimer of one timer ID by delta ticks
+// (clamped to at least one tick, so a skewed machine cannot busy-loop the
+// simulator), leaving the wrapped machine otherwise untouched.
+type skewMachine struct {
+	inner core.Machine
+	timer core.TimerID
+	delta core.Tick
+}
+
+func (m *skewMachine) skew(actions []core.Action) []core.Action {
+	for i, a := range actions {
+		if st, ok := a.(core.SetTimer); ok && st.ID == m.timer {
+			st.Delay += m.delta
+			if st.Delay < 1 {
+				st.Delay = 1
+			}
+			actions[i] = st
+		}
+	}
+	return actions
+}
+
+func (m *skewMachine) Start(now core.Tick) []core.Action {
+	return m.skew(m.inner.Start(now))
+}
+
+func (m *skewMachine) OnTimer(id core.TimerID, now core.Tick) []core.Action {
+	return m.skew(m.inner.OnTimer(id, now))
+}
+
+func (m *skewMachine) OnBeat(b core.Beat, now core.Tick) []core.Action {
+	return m.skew(m.inner.OnBeat(b, now))
+}
+
+func (m *skewMachine) Crash(now core.Tick) []core.Action {
+	return m.skew(m.inner.Crash(now))
+}
+
+func (m *skewMachine) Status() core.Status { return m.inner.Status() }

@@ -1,0 +1,151 @@
+package conform
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/netem"
+)
+
+// Recorder abstracts detector machine steps into model-alphabet events.
+// It implements detector.Observer; attach it via Config.Observe or
+// ClusterConfig.Observe. Safe for concurrent use (wall-clock nodes call
+// from timer goroutines).
+//
+// Events outside the model alphabet — graceful leaves, restarts, rejoins,
+// stray beats — are recorded under honest non-model labels, so the
+// checker reports them as divergences instead of silently dropping them.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Events returns a copy of the recorded trace.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Reset clears the recorded trace.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+}
+
+// ObserveStep implements detector.Observer.
+func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigger, actions []core.Action) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	add := func(label string) {
+		r.events = append(r.events, Event{Time: now, Label: label})
+	}
+	coord := id == netem.NodeID(core.CoordinatorID)
+
+	switch tr.Kind {
+	case detector.TriggerBeat:
+		// The delivery itself is observable regardless of the machine's
+		// reaction: the model delivers to inactive processes too (their
+		// receive self-loops consume the beat).
+		b := tr.Beat
+		switch {
+		case coord && b.Stay:
+			add(labelDeliverToP0(int(b.From)))
+		case coord:
+			add(labelDeliverLeaveToP0(int(b.From)))
+		case b.From == core.CoordinatorID && b.Stay:
+			add(labelDeliverToP(int(id)))
+		case b.From == core.CoordinatorID:
+			// The coordinator's directed leave acknowledgement; no model
+			// counterpart (the model's leaver concludes from its own beat).
+			add(fmt.Sprintf("deliver leave ack to %s", pname(int(id))))
+		default:
+			add(fmt.Sprintf("deliver stray beat to %s from %s", pname(int(id)), pname(int(b.From))))
+		}
+		r.addReactions(add, id, tr, actions)
+
+	case detector.TriggerTimer:
+		if coord && tr.Timer == core.TimerRound {
+			if len(actions) == 0 {
+				return // stale fire on an inactive machine
+			}
+			add(labelTimeoutP0)
+		}
+		r.addReactions(add, id, tr, actions)
+
+	case detector.TriggerStart:
+		r.addReactions(add, id, tr, actions)
+
+	case detector.TriggerCrash:
+		for _, a := range actions {
+			if in, ok := a.(core.Inactivate); ok && in.Voluntary {
+				add(labelCrash(int(id)))
+			}
+		}
+
+	case detector.TriggerLeave:
+		add(labelDecideLeave(int(id)))
+		r.addReactions(add, id, tr, actions)
+
+	case detector.TriggerRejoin:
+		add(fmt.Sprintf("%s: rejoin", pname(int(id))))
+		r.addReactions(add, id, tr, actions)
+
+	case detector.TriggerRestart:
+		add(fmt.Sprintf("%s: restart", pname(int(id))))
+		r.addReactions(add, id, tr, actions)
+	}
+}
+
+// addReactions records the observable actions of one machine step: sends
+// and inactivations. Suspect/Joined/Left notifications and timer
+// (re)arming are not part of the model's trace alphabet — except that the
+// coordinator's round continuation is keyed off SetTimer{TimerRound},
+// because the model broadcasts "p[0]: send beat" even to an empty
+// membership while the runtime's send loop then emits nothing.
+func (r *Recorder) addReactions(add func(string), id netem.NodeID, tr detector.Trigger, actions []core.Action) {
+	coord := id == netem.NodeID(core.CoordinatorID)
+	sentBeat := false
+	for _, a := range actions {
+		switch act := a.(type) {
+		case core.SendBeat:
+			switch {
+			case coord && act.Beat.Stay:
+				// Coalesce the per-member unicasts of one round into the
+				// model's single broadcast. Emitted via the SetTimer key
+				// below for timeouts; directly for the revised init.
+				if tr.Kind != detector.TriggerTimer && !sentBeat {
+					sentBeat = true
+					add(labelSendBeat(0))
+				}
+			case coord:
+				add(fmt.Sprintf("p[0]: send leave ack to %s", pname(int(act.To))))
+			case act.Beat.Stay:
+				if tr.Kind == detector.TriggerBeat {
+					add(labelSendBeat(int(id))) // reply to a delivered beat
+				} else {
+					add(labelSendJoin(int(id))) // join solicitation (start or resend)
+				}
+			default:
+				add(labelSendLeave(int(id)))
+			}
+		case core.SetTimer:
+			if coord && act.ID == core.TimerRound && tr.Kind == detector.TriggerTimer && !sentBeat {
+				sentBeat = true
+				add(labelSendBeat(0))
+			}
+		case core.Inactivate:
+			if act.Voluntary {
+				add(labelCrash(int(id)))
+			} else {
+				add(labelInactivate(int(id)))
+			}
+		}
+	}
+}

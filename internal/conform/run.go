@@ -1,0 +1,177 @@
+package conform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/faults"
+	"repro/internal/mc"
+	"repro/internal/models"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// ErrUnsupported reports a configuration the conformance layer cannot
+// soundly check.
+var ErrUnsupported = errors.New("conform: unsupported configuration")
+
+// RunConfig describes one recorded conformance run.
+type RunConfig struct {
+	// Model is the configuration whose runtime realisation to drive. The
+	// ablation knobs FixPriority/FixBounds are unsupported (the runtime
+	// only implements both fixes together, via core.Config.Fixed).
+	Model models.Config
+	// Seed drives the simulator and fault-layer randomness.
+	Seed int64
+	// Horizon is the virtual time to run (and check time passing) to.
+	Horizon core.Tick
+	// MaxDelay is the per-direction link delay bound. Keep it 0 for
+	// unfixed models: with random delays, FIFO scheduling can force the
+	// runtime's timeout ahead of a same-instant reply delivery, which the
+	// unfixed model resolves the other way via a channel busy-drop —
+	// a spurious divergence, not a protocol bug.
+	MaxDelay core.Tick
+	// Schedule is an optional fault schedule; see CheckSchedule for the
+	// supported event kinds.
+	Schedule *faults.Schedule
+	// Wrap, if non-nil, wraps every machine (see Mutation); used to prove
+	// the checker catches defective detectors.
+	Wrap func(id netem.NodeID, m core.Machine) core.Machine
+}
+
+// RunResult is a recorded conformance run.
+type RunResult struct {
+	// Events is the recorded abstract trace.
+	Events []Event
+	// Lost counts messages dropped anywhere (link loss, fault-layer loss,
+	// partitions, crashed senders): the no-loss premise of R2/R3.
+	Lost uint64
+	// Cluster is the finished cluster, for further inspection.
+	Cluster *detector.Cluster
+}
+
+// CheckSchedule reports whether a fault schedule stays within the
+// model's world: crashes, message loss, partitions and link failures map
+// onto model transitions ("crash p[i]", "lose …"), while restarts,
+// duplication, reordering and clock drift have no model counterpart.
+func CheckSchedule(s *faults.Schedule) error {
+	if s == nil {
+		return nil
+	}
+	for _, e := range s.Events {
+		switch e.Kind {
+		case faults.KindCrash, faults.KindLoss, faults.KindPartition,
+			faults.KindHeal, faults.KindLinkDown, faults.KindLinkUp:
+		default:
+			return fmt.Errorf("%w: schedule event %v has no model counterpart", ErrUnsupported, e.Kind)
+		}
+	}
+	return nil
+}
+
+// ClusterFor maps a model configuration onto the runtime cluster shape
+// that realises it (protocol, variant flags, timing constants, N). Callers
+// that build their own clusters — e.g. scenario campaigns with conformance
+// checking attached — use it to guarantee the deployment matches the model
+// being checked against.
+func ClusterFor(m models.Config) (detector.ClusterConfig, error) {
+	return clusterConfig(m)
+}
+
+// clusterConfig maps a model configuration onto a runtime cluster.
+func clusterConfig(m models.Config) (detector.ClusterConfig, error) {
+	if err := m.Validate(); err != nil {
+		return detector.ClusterConfig{}, err
+	}
+	if (m.FixPriority || m.FixBounds) && !m.Fixed {
+		return detector.ClusterConfig{}, fmt.Errorf("%w: runtime has no ablation knobs, use Fixed", ErrUnsupported)
+	}
+	cc := detector.ClusterConfig{
+		N: m.N,
+		Core: core.Config{
+			TMin:  core.Tick(m.TMin),
+			TMax:  core.Tick(m.TMax),
+			Fixed: m.Fixed,
+		},
+	}
+	switch m.Variant {
+	case models.Binary:
+		cc.Protocol = detector.ProtocolBinary
+	case models.RevisedBinary:
+		cc.Protocol = detector.ProtocolBinary
+		cc.Core.Revised = true
+	case models.TwoPhase:
+		cc.Protocol = detector.ProtocolBinary
+		cc.Core.TwoPhase = true
+	case models.Static:
+		cc.Protocol = detector.ProtocolStatic
+	case models.Expanding:
+		cc.Protocol = detector.ProtocolExpanding
+	case models.Dynamic:
+		cc.Protocol = detector.ProtocolDynamic
+	default:
+		return detector.ClusterConfig{}, fmt.Errorf("%w: unknown variant %v", ErrUnsupported, m.Variant)
+	}
+	return cc, nil
+}
+
+// Run drives one simulated cluster with the recorder attached and returns
+// the recorded trace. The run is deterministic in (Model, Seed, Horizon,
+// MaxDelay, Schedule).
+func Run(rc RunConfig) (*RunResult, error) {
+	if err := CheckSchedule(rc.Schedule); err != nil {
+		return nil, err
+	}
+	cc, err := clusterConfig(rc.Model)
+	if err != nil {
+		return nil, err
+	}
+	cc.Seed = rc.Seed
+	cc.Link = netem.LinkConfig{MaxDelay: sim.Time(rc.MaxDelay)}
+	cc.Faults = rc.Schedule
+	cc.WrapMachine = rc.Wrap
+	rec := NewRecorder()
+	cc.Observe = rec
+
+	cl, err := detector.NewCluster(cc)
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Start(); err != nil {
+		return nil, err
+	}
+	cl.Sim.RunUntil(sim.Time(rc.Horizon))
+	cl.Stop()
+	if errs := cl.FaultErrors(); len(errs) > 0 {
+		return nil, fmt.Errorf("conform: fault schedule failed: %w", errs[0])
+	}
+
+	lost := cl.Net.Stats().Total.Lost
+	if cl.Faults != nil {
+		fs := cl.Faults.Stats()
+		lost += fs.DroppedMuted + fs.DroppedPartition + fs.DroppedLoss
+	}
+	return &RunResult{Events: rec.Events(), Lost: lost, Cluster: cl}, nil
+}
+
+// CampaignCheck attaches conformance checking to scenario campaigns: the
+// model configuration the cluster under test realises, plus exploration
+// options for building its LTS. The spec is built once and shared across
+// trials.
+type CampaignCheck struct {
+	Model models.Config
+	Opts  mc.Options
+
+	once sync.Once
+	spec *Spec
+	err  error
+}
+
+// Spec returns the (lazily built, cached) specification.
+func (c *CampaignCheck) Spec() (*Spec, error) {
+	c.once.Do(func() { c.spec, c.err = BuildSpec(c.Model, c.Opts) })
+	return c.spec, c.err
+}

@@ -1,0 +1,195 @@
+package conform
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// ReqViolation is one requirement violation observed on a recorded trace.
+type ReqViolation struct {
+	Prop models.Property
+	// Proc is the blamed participant (R1: the silent one p[0] failed to
+	// detect; R2: the one inactivated); 0 for R3.
+	Proc int
+	// Time is the tick at which the violation became observable.
+	Time core.Tick
+}
+
+// TraceVerdicts is the outcome of evaluating R1–R3 on one recorded trace.
+type TraceVerdicts struct {
+	// LossFree reports the no-loss premise of R2/R3 held (no message was
+	// dropped by links, faults, partitions, or crashed senders).
+	LossFree bool
+	// Violations lists every observed violation, in trace order per
+	// property. R2/R3 violations are only reported on loss-free runs
+	// (their premise); R1 applies regardless of loss.
+	Violations []ReqViolation
+}
+
+// ByProp filters the violations of one property.
+func (tv TraceVerdicts) ByProp(p models.Property) []ReqViolation {
+	var out []ReqViolation
+	for _, v := range tv.Violations {
+		if v.Prop == p {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+const farFuture = core.Tick(math.MaxInt64 / 2)
+
+// EvaluateTrace re-evaluates the paper's requirements directly on a
+// recorded trace, mirroring the model predicates of
+// internal/models/requirements.go:
+//
+//   - R1: after the last beat delivered from p[i] (or from the start, for
+//     fixed-membership variants), p[0] must stop being active within the
+//     claimed detection bound. Only violations observable within horizon
+//     are reported (the bound must elapse before the run ends).
+//   - R2: no participant non-voluntarily inactivates while no message was
+//     lost, p[0] is active, and every other participant is alive or
+//     excused (never joined, or left).
+//   - R3: p[0] does not non-voluntarily inactivate while no message was
+//     lost and every participant is alive or excused.
+//
+// "Joined" is p[0]'s view, reconstructed from delivery events exactly as
+// the model's jnd variables are driven by the delivery channels.
+func EvaluateTrace(cfg models.Config, events []Event, lost uint64, horizon core.Tick) TraceVerdicts {
+	n := cfg.N
+	fixedMembers := true
+	switch cfg.Variant {
+	case models.Expanding, models.Dynamic:
+		fixedMembers = false
+	}
+	bound := core.Tick(cfg.DetectionBound())
+	lossFree := lost == 0
+
+	tv := TraceVerdicts{LossFree: lossFree}
+	active0 := true
+	p0End := farFuture // first time p[0] stopped being active
+	activeP := make([]bool, n+1)
+	jnd := make([]bool, n+1)
+	armed := make([]bool, n+1)
+	lastBeat := make([]core.Tick, n+1)
+	for i := 1; i <= n; i++ {
+		activeP[i] = true
+		jnd[i] = fixedMembers
+		armed[i] = fixedMembers
+	}
+
+	// closeR1 checks the monitoring interval (last, next] for p[i]: a
+	// violation exists when the deadline elapsed with no delivery while
+	// p[0] stayed active, observably within the horizon.
+	closeR1 := func(i int, next core.Tick) {
+		deadline := lastBeat[i] + bound
+		if next > deadline && p0End > deadline && horizon > deadline {
+			tv.Violations = append(tv.Violations, ReqViolation{Prop: models.R1, Proc: i, Time: deadline + 1})
+		}
+	}
+	participantOK := func(j int) bool { return activeP[j] || !jnd[j] }
+
+	for _, ev := range events {
+		var proc int
+		switch {
+		case parseLabel(ev.Label, "deliver beat to p[0] from p[%d]", &proc):
+			if proc >= 1 && proc <= n {
+				if armed[proc] {
+					closeR1(proc, ev.Time)
+				}
+				armed[proc] = true
+				lastBeat[proc] = ev.Time
+				jnd[proc] = true
+			}
+		case parseLabel(ev.Label, "deliver leave beat to p[0] from p[%d]", &proc):
+			if proc >= 1 && proc <= n {
+				if armed[proc] {
+					closeR1(proc, ev.Time)
+				}
+				armed[proc] = false
+				jnd[proc] = false
+			}
+		case ev.Label == labelInactivate(0):
+			if lossFree && allOK(n, participantOK) {
+				tv.Violations = append(tv.Violations, ReqViolation{Prop: models.R3, Time: ev.Time})
+			}
+			active0 = false
+			if p0End == farFuture {
+				p0End = ev.Time
+			}
+		case ev.Label == labelCrash(0):
+			active0 = false
+			if p0End == farFuture {
+				p0End = ev.Time
+			}
+		case parseLabel(ev.Label, "inactivate nv p[%d]", &proc):
+			if proc >= 1 && proc <= n {
+				if lossFree && active0 && allOKExcept(n, proc, participantOK) {
+					tv.Violations = append(tv.Violations, ReqViolation{Prop: models.R2, Proc: proc, Time: ev.Time})
+				}
+				activeP[proc] = false
+			}
+		case parseLabel(ev.Label, "crash p[%d]", &proc):
+			if proc >= 1 && proc <= n {
+				activeP[proc] = false
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if armed[i] {
+			closeR1(i, farFuture)
+		}
+	}
+	return tv
+}
+
+func allOK(n int, ok func(int) bool) bool {
+	return allOKExcept(n, 0, ok)
+}
+
+func allOKExcept(n, skip int, ok func(int) bool) bool {
+	for j := 1; j <= n; j++ {
+		if j != skip && !ok(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyFunc model-checks one property of one configuration; usually
+// models.Verify with fixed options, possibly behind a cache.
+type VerifyFunc func(models.Config, models.Property) (models.Verdict, error)
+
+// VerdictDiff cross-references one property's runtime violations with the
+// model checker's verdict.
+type VerdictDiff struct {
+	Prop    models.Property
+	Runtime []ReqViolation
+	Model   models.Verdict
+	// Mismatch: the runtime violated a property the model checker proves
+	// satisfied — a conformance failure. (The converse — model violable,
+	// runtime trace clean — is expected: one trace cannot witness every
+	// schedule.)
+	Mismatch bool
+}
+
+// DiffVerdicts checks every property the trace violated against the
+// model. Properties with no runtime violation are skipped (nothing to
+// contradict), so the expensive model check only runs on suspicious runs.
+func DiffVerdicts(cfg models.Config, tv TraceVerdicts, verify VerifyFunc) ([]VerdictDiff, error) {
+	var out []VerdictDiff
+	for _, p := range []models.Property{models.R1, models.R2, models.R3} {
+		viol := tv.ByProp(p)
+		if len(viol) == 0 {
+			continue
+		}
+		v, err := verify(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VerdictDiff{Prop: p, Runtime: viol, Model: v, Mismatch: v.Satisfied})
+	}
+	return out, nil
+}

@@ -70,6 +70,14 @@ type ClusterConfig struct {
 	// this config; the Clock and Events fields are filled in by the
 	// cluster (supervisor events land in Cluster.Events like all others).
 	Heal *SupervisorConfig
+	// Observe, if non-nil, receives every machine step of every node; see
+	// Observer. The conformance layer uses this to record abstract traces.
+	Observe Observer
+	// WrapMachine, if non-nil, wraps every protocol machine at
+	// construction time (including machines built for restarts). The
+	// conformance tests use it to inject deliberately defective machines
+	// and check that trace inclusion catches them.
+	WrapMachine func(id netem.NodeID, m core.Machine) core.Machine
 }
 
 // Cluster is a simulated deployment of one protocol instance.
@@ -169,6 +177,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Clock:           clockFor(netem.NodeID(core.CoordinatorID)),
 		Transport:       c.Transport,
 		Events:          sink,
+		Observe:         cfg.Observe,
 		ReceivePriority: cfg.Core.Fixed,
 	})
 	if err != nil {
@@ -187,6 +196,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Clock:           clockFor(netem.NodeID(pid)),
 			Transport:       c.Transport,
 			Events:          sink,
+			Observe:         cfg.Observe,
 			ReceivePriority: cfg.Core.Fixed,
 		})
 		if err != nil {
@@ -229,20 +239,37 @@ func newCoordinatorMachine(cfg ClusterConfig) (core.Machine, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown protocol %d", ErrNodeConfig, int(cfg.Protocol))
 	}
-	return core.NewCoordinator(cc)
+	m, err := core.NewCoordinator(cc)
+	if err != nil {
+		return nil, err
+	}
+	return wrapMachine(cfg, netem.NodeID(core.CoordinatorID), m), nil
 }
 
 func newParticipantMachine(cfg ClusterConfig, pid core.ProcID) (core.Machine, error) {
+	var m core.Machine
+	var err error
 	switch cfg.Protocol {
 	case ProtocolBinary, ProtocolStatic:
-		return core.NewResponder(cfg.Core, pid)
+		m, err = core.NewResponder(cfg.Core, pid)
 	case ProtocolExpanding:
-		return core.NewParticipant(cfg.Core, pid, false)
+		m, err = core.NewParticipant(cfg.Core, pid, false)
 	case ProtocolDynamic:
-		return core.NewParticipant(cfg.Core, pid, true)
+		m, err = core.NewParticipant(cfg.Core, pid, true)
 	default:
 		return nil, fmt.Errorf("%w: unknown protocol %d", ErrNodeConfig, int(cfg.Protocol))
 	}
+	if err != nil {
+		return nil, err
+	}
+	return wrapMachine(cfg, netem.NodeID(pid), m), nil
+}
+
+func wrapMachine(cfg ClusterConfig, id netem.NodeID, m core.Machine) core.Machine {
+	if cfg.WrapMachine == nil {
+		return m
+	}
+	return cfg.WrapMachine(id, m)
 }
 
 // Start arms the fault schedule (if any) and starts every node: the

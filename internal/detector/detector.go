@@ -167,6 +167,9 @@ type Config struct {
 	Transport netem.Transport
 	// Events, if non-nil, receives liveness notifications.
 	Events EventSink
+	// Observe, if non-nil, receives every machine step (trigger plus
+	// returned actions) before the actions are executed; see Observer.
+	Observe Observer
 	// ReceivePriority applies the §6.1 fix at the runtime level: a timer
 	// firing is deferred behind any same-instant deliveries already in
 	// flight, by re-queueing the timer callback once at zero delay. Set
@@ -255,15 +258,18 @@ func (n *Node) Restart(m core.Machine) error {
 	}
 	n.cfg.Machine = m
 	n.started = true
-	n.apply(m.Start(n.cfg.Clock.Now()))
+	actions := m.Start(n.cfg.Clock.Now())
+	n.observe(Trigger{Kind: TriggerRestart}, actions)
+	n.apply(actions)
 	return nil
 }
 
-// runGuarded calls fn and applies its actions; callers hold n.mu. When a
-// recover handler is installed, a panic from the machine (or from applying
-// its actions) is captured and returned instead of propagating; otherwise
-// it propagates unchanged.
-func (n *Node) runGuarded(fn func() []core.Action) (recovered any) {
+// runGuarded calls fn, reports the step to the observer, and applies its
+// actions; callers hold n.mu. When a recover handler is installed, a panic
+// from the machine (or from applying its actions) is captured and returned
+// instead of propagating; otherwise it propagates unchanged. A step whose
+// machine call panics is not observed.
+func (n *Node) runGuarded(tr Trigger, fn func() []core.Action) (recovered any) {
 	defer func() {
 		if r := recover(); r != nil {
 			if n.recoverFn == nil {
@@ -272,7 +278,9 @@ func (n *Node) runGuarded(fn func() []core.Action) (recovered any) {
 			recovered = r
 		}
 	}()
-	n.apply(fn())
+	actions := fn()
+	n.observe(tr, actions)
+	n.apply(actions)
 	return nil
 }
 
@@ -284,7 +292,9 @@ func (n *Node) Start() error {
 		return fmt.Errorf("%w: node %d already started", ErrNodeConfig, n.cfg.ID)
 	}
 	n.started = true
-	n.apply(n.cfg.Machine.Start(n.cfg.Clock.Now()))
+	actions := n.cfg.Machine.Start(n.cfg.Clock.Now())
+	n.observe(Trigger{Kind: TriggerStart}, actions)
+	n.apply(actions)
 	return nil
 }
 
@@ -292,7 +302,9 @@ func (n *Node) Start() error {
 func (n *Node) Crash() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.apply(n.cfg.Machine.Crash(n.cfg.Clock.Now()))
+	actions := n.cfg.Machine.Crash(n.cfg.Clock.Now())
+	n.observe(Trigger{Kind: TriggerCrash}, actions)
+	n.apply(actions)
 }
 
 // Leave starts a graceful departure; the machine must be a dynamic
@@ -308,6 +320,7 @@ func (n *Node) Leave() error {
 	if err != nil {
 		return err
 	}
+	n.observe(Trigger{Kind: TriggerLeave}, actions)
 	n.apply(actions)
 	return nil
 }
@@ -325,6 +338,7 @@ func (n *Node) Rejoin() error {
 	if err != nil {
 		return err
 	}
+	n.observe(Trigger{Kind: TriggerRejoin}, actions)
 	n.apply(actions)
 	return nil
 }
@@ -336,7 +350,7 @@ func (n *Node) onMessage(msg netem.Message) {
 		return // garbage on the wire is dropped, like a lost message
 	}
 	n.mu.Lock()
-	rec := n.runGuarded(func() []core.Action {
+	rec := n.runGuarded(Trigger{Kind: TriggerBeat, Beat: beat}, func() []core.Action {
 		return n.cfg.Machine.OnBeat(beat, n.cfg.Clock.Now())
 	})
 	h := n.recoverFn
@@ -373,7 +387,7 @@ func (n *Node) fireTimer(id core.TimerID, gen uint64) {
 		return
 	}
 	delete(n.timers, id)
-	rec := n.runGuarded(func() []core.Action {
+	rec := n.runGuarded(Trigger{Kind: TriggerTimer, Timer: id}, func() []core.Action {
 		return n.cfg.Machine.OnTimer(id, n.cfg.Clock.Now())
 	})
 	h := n.recoverFn

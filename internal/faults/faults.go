@@ -140,11 +140,11 @@ func (e Event) validate() error {
 			return fmt.Errorf("%w: loss on self-link %d→%d", ErrSchedule, e.From, e.To)
 		}
 	case KindDup:
-		if e.Prob < 0 || e.Prob > 1 {
+		if !probOK(e.Prob) {
 			return fmt.Errorf("%w: duplication probability %v out of [0,1]", ErrSchedule, e.Prob)
 		}
 	case KindReorder:
-		if e.Prob < 0 || e.Prob > 1 {
+		if !probOK(e.Prob) {
 			return fmt.Errorf("%w: reorder probability %v out of [0,1]", ErrSchedule, e.Prob)
 		}
 		if e.Prob > 0 && e.MaxDelay < 1 {
@@ -159,6 +159,10 @@ func (e Event) validate() error {
 	}
 	return nil
 }
+
+// probOK reports whether v is a probability. Written positively so that
+// NaN — which compares false against everything — is rejected too.
+func probOK(v float64) bool { return v >= 0 && v <= 1 }
 
 // Schedule is a scripted fault campaign. Events are applied in time order;
 // events with equal times apply in slice order. The zero value is a valid

@@ -36,7 +36,7 @@ func (g GilbertElliott) Validate() error {
 		{"LossGood", g.LossGood},
 		{"LossBad", g.LossBad},
 	} {
-		if p.v < 0 || p.v > 1 {
+		if !probOK(p.v) {
 			return fmt.Errorf("%w: Gilbert–Elliott %s %v out of [0,1]", ErrSchedule, p.name, p.v)
 		}
 	}

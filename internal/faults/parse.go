@@ -78,6 +78,23 @@ var kindNames = map[string]Kind{
 	"drift":     KindDrift,
 }
 
+// eventKeys lists the key=value fields each directive understands, beyond
+// the universal t/at. Fields outside this list are rejected: Format only
+// renders a kind's own fields, so a stray field would otherwise parse,
+// silently set an unused Event field, and be lost on the round trip.
+var eventKeys = map[Kind]string{
+	KindCrash:     " node ",
+	KindRestart:   " node ",
+	KindPartition: " node ",
+	KindHeal:      " node ",
+	KindLinkDown:  " from to ",
+	KindLinkUp:    " from to ",
+	KindLoss:      " from to pgb pbg lg lb ",
+	KindDup:       " prob ",
+	KindReorder:   " prob maxdelay ",
+	KindDrift:     " node rate skew ",
+}
+
 func parseEvent(kindWord string, args []string) (Event, error) {
 	kind, ok := kindNames[kindWord]
 	if !ok {
@@ -88,6 +105,9 @@ func parseEvent(kindWord string, args []string) (Event, error) {
 	var haveGE bool
 	for _, arg := range args {
 		if strings.EqualFold(arg, "all") {
+			if kind != KindLoss {
+				return Event{}, fmt.Errorf("%w: %s does not take %q", ErrSchedule, kindWord, arg)
+			}
 			ev.AllLinks = true
 			continue
 		}
@@ -96,6 +116,9 @@ func parseEvent(kindWord string, args []string) (Event, error) {
 			return Event{}, fmt.Errorf("%w: expected key=value, got %q", ErrSchedule, arg)
 		}
 		key = strings.ToLower(key)
+		if key != "t" && key != "at" && !strings.Contains(eventKeys[kind], " "+key+" ") {
+			return Event{}, fmt.Errorf("%w: %s does not take field %q", ErrSchedule, kindWord, key)
+		}
 		switch key {
 		case "t", "at":
 			v, err := strconv.ParseInt(val, 10, 64)

@@ -100,6 +100,11 @@ type Config struct {
 	// p[1] iff it holds for every p[i], and dropping the other monitors'
 	// clocks shrinks the state space considerably.
 	MonitorAll bool
+	// NoMonitor drops the R1 monitors entirely. Trace-inclusion checking
+	// (internal/conform) wants the bare protocol LTS: monitor clocks both
+	// inflate the state space and introduce "error R1" transitions that are
+	// no part of the protocol's observable behaviour.
+	NoMonitor bool
 }
 
 // ErrConfig reports an invalid model configuration.
@@ -155,6 +160,12 @@ func (c Config) joinerBound() int32 {
 	}
 	return 3*c.TMax - c.TMin
 }
+
+// DetectionBound is the R1 detection bound the configuration claims:
+// p[0] must inactivate within this many ticks of the last beat delivered
+// from a silent participant. Exported for the runtime verdict monitors of
+// internal/conform, which re-evaluate R1 on recorded traces.
+func (c Config) DetectionBound() int32 { return c.r1Bound() }
 
 // r1Bound is the monitored detection bound for R1: the 1998 claim of
 // 2·tmax, or the corrected §6.2 bound.
@@ -265,7 +276,7 @@ func Build(cfg Config) (*Model, error) {
 			m.buildJoinChannel(i)
 		}
 		m.buildParticipant(i)
-		if i == 0 || cfg.MonitorAll {
+		if (i == 0 || cfg.MonitorAll) && !cfg.NoMonitor {
 			m.buildMonitor(i)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/faults"
@@ -218,6 +219,15 @@ type CampaignConfig struct {
 	Trials int
 	// Seed derives per-trial seeds.
 	Seed int64
+	// Conform, if non-nil, records every trial's abstract event trace and
+	// checks it for inclusion in the named model's LTS; divergences land in
+	// CampaignResult.Divergences. The cluster's protocol shape (variant,
+	// timing constants, N) is derived from Conform.Model, overriding the
+	// corresponding Cluster fields, so runtime and model cannot drift
+	// apart; the Cluster's Link and Seed knobs still apply. Requires a
+	// model-expressible Schedule (conform.CheckSchedule) and Heal == nil —
+	// supervisor restarts have no model counterpart.
+	Conform *conform.CampaignCheck
 }
 
 // CampaignResult summarises a fault campaign.
@@ -235,6 +245,10 @@ type CampaignResult struct {
 	// across all trials (see detector.Cluster.FaultErrors); nonzero
 	// means part of the schedule never took effect.
 	ScheduleErrors int
+	// Divergences holds one trace divergence per non-conforming trial
+	// (conformance checking enabled and the detector stepped outside its
+	// model).
+	Divergences []*conform.Divergence
 }
 
 // RunCampaign replays the schedule over Trials independent clusters.
@@ -244,6 +258,25 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	}
 	if cfg.Schedule == nil {
 		return nil, fmt.Errorf("%w: campaign needs a fault schedule", ErrScenario)
+	}
+	var spec *conform.Spec
+	if cfg.Conform != nil {
+		if cfg.Heal != nil {
+			return nil, fmt.Errorf("%w: conformance checking cannot model supervisor restarts", ErrScenario)
+		}
+		if err := conform.CheckSchedule(cfg.Schedule); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+		base, err := conform.ClusterFor(cfg.Conform.Model)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cluster.Protocol = base.Protocol
+		cfg.Cluster.Core = base.Core
+		cfg.Cluster.N = base.N
+		if spec, err = cfg.Conform.Spec(); err != nil {
+			return nil, err
+		}
 	}
 	out := &CampaignResult{}
 	for trial := 0; trial < cfg.Trials; trial++ {
@@ -259,6 +292,11 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		}
 		cc.Faults = &sched
 		cc.Heal = cfg.Heal
+		var rec *conform.Recorder
+		if spec != nil {
+			rec = conform.NewRecorder()
+			cc.Observe = rec
+		}
 		c, err := detector.NewCluster(cc)
 		if err != nil {
 			return nil, err
@@ -268,6 +306,11 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		}
 		c.Sim.RunUntil(cfg.Horizon)
 		c.Stop()
+		if rec != nil {
+			if d := spec.CheckTrace(rec.Events(), core.Tick(cfg.Horizon)); d != nil {
+				out.Divergences = append(out.Divergences, d)
+			}
+		}
 		out.Survived.Observe(c.Coordinator.Status() == core.StatusActive)
 		if c.Supervisor != nil {
 			restarts := c.Supervisor.Restarts(c.Coordinator.ID())

@@ -3,9 +3,11 @@ package scenario
 import (
 	"testing"
 
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/faults"
+	"repro/internal/models"
 	"repro/internal/netem"
 )
 
@@ -262,5 +264,66 @@ func TestRunCampaignValidation(t *testing.T) {
 		Cluster: binaryCluster(), Schedule: &faults.Schedule{}, Horizon: 0, Trials: 1,
 	}); err == nil {
 		t.Fatal("zero horizon accepted")
+	}
+}
+
+// TestRunCampaignConformance attaches the model conformance checker to a
+// crash campaign: the healthy detector conforms in every trial, and a
+// deliberately defective one (late participant watchdog) is reported as a
+// divergence — wiring proof that campaigns catch runtime/model drift.
+func TestRunCampaignConformance(t *testing.T) {
+	model := models.Config{TMin: 2, TMax: 4, Variant: models.Binary, N: 1, Fixed: true}
+	sched := &faults.Schedule{Events: []faults.Event{
+		{At: 9, Kind: faults.KindCrash, Node: 0},
+	}}
+	check := &conform.CampaignCheck{Model: model}
+	res, err := RunCampaign(CampaignConfig{
+		Cluster:  detector.ClusterConfig{}, // shape comes from the model
+		Schedule: sched,
+		Horizon:  30,
+		Trials:   5,
+		Seed:     3,
+		Conform:  check,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("healthy detector diverged: %v", res.Divergences[0])
+	}
+
+	wrap, err := conform.Mutation("expiry+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = RunCampaign(CampaignConfig{
+		Cluster:  detector.ClusterConfig{WrapMachine: wrap},
+		Schedule: sched,
+		Horizon:  30,
+		Trials:   5,
+		Seed:     3,
+		Conform:  check,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 5 {
+		t.Fatalf("mutant divergences = %d, want one per trial", len(res.Divergences))
+	}
+
+	// Guard rails: supervisors and non-model faults are rejected.
+	if _, err := RunCampaign(CampaignConfig{
+		Schedule: sched, Horizon: 30, Trials: 1, Conform: check,
+		Heal: &detector.SupervisorConfig{},
+	}); err == nil {
+		t.Fatal("conformance with a supervisor accepted")
+	}
+	if _, err := RunCampaign(CampaignConfig{
+		Schedule: &faults.Schedule{Events: []faults.Event{
+			{At: 1, Kind: faults.KindDrift, Node: 1, Num: 2, Den: 1},
+		}},
+		Horizon: 30, Trials: 1, Conform: check,
+	}); err == nil {
+		t.Fatal("conformance with a drift schedule accepted")
 	}
 }

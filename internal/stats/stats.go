@@ -34,6 +34,17 @@ func (s *Sample) AddN(v float64, n int) {
 	}
 }
 
+// Merge absorbs every observation of other into s, as if each had been
+// Added individually; other is unchanged. Useful for combining per-worker
+// samples after a parallel sweep.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.values) == 0 {
+		return
+	}
+	s.values = append(s.values, other.values...)
+	s.sorted = false
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
 
