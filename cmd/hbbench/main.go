@@ -28,10 +28,13 @@ import (
 
 // Entry is one benchmark run in the history file.
 type Entry struct {
-	Label     string  `json:"label"`
-	Date      string  `json:"date"`
-	Go        string  `json:"go"`
-	MaxProcs  int     `json:"maxprocs"`
+	Label    string `json:"label"`
+	Date     string `json:"date"`
+	Go       string `json:"go"`
+	MaxProcs int    `json:"maxprocs"`
+	// Workers is the BFS worker count used for the checker benchmark
+	// (0 before the checker went parallel).
+	Workers   int     `json:"workers,omitempty"`
 	Checker   Metrics `json:"checker"`
 	Simulator Metrics `json:"simulator"`
 	// Table1SeqMS and Table1ParMS time the Table 1 binary-family
@@ -56,23 +59,28 @@ type History struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_mc.json", "benchmark history file to append to")
-		label = flag.String("label", "run", "label for this history entry")
-		table = flag.Bool("table", true, "additionally time Table 1 (binary family) sequential vs parallel")
+		out     = flag.String("out", "BENCH_mc.json", "benchmark history file to append to")
+		label   = flag.String("label", "run", "label for this history entry")
+		table   = flag.Bool("table", true, "additionally time Table 1 (binary family) sequential vs parallel")
+		workers = flag.Int("workers", 0, "BFS workers for the checker benchmark (0 = GOMAXPROCS); counts are identical at any value")
 	)
 	flag.Parse()
-	if err := run(*out, *label, *table); err != nil {
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if err := run(*out, *label, *table, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "hbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, label string, table bool) error {
+func run(out, label string, table bool, workers int) error {
 	entry := Entry{
 		Label:    label,
 		Date:     time.Now().UTC().Format(time.RFC3339),
 		Go:       runtime.Version(),
 		MaxProcs: runtime.GOMAXPROCS(0),
+		Workers:  workers,
 	}
 
 	var benchErr error
@@ -85,7 +93,7 @@ func run(out, label string, table bool) error {
 				benchErr = err
 				return
 			}
-			v, err := m.Verify(models.R1, mc.Options{})
+			v, err := m.Verify(models.R1, mc.Options{Workers: workers})
 			if err != nil {
 				benchErr = err
 				return

@@ -7,6 +7,7 @@
 //	hbcheck -table all      # everything
 //	hbcheck -table 2 -workers 4   # fan cells over 4 goroutines, same output
 //	hbcheck -variant binary -tmin 10 -prop R2 -trace
+//	hbcheck -variant binary -tmin 9 -workers 8   # parallel BFS, same verdict/trace
 //
 // Exit status is 0 when every verdict matches the analysis' expectation
 // (tables mode) or when the requested property holds (single mode).
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/mc"
@@ -34,18 +36,27 @@ func main() {
 		fixed     = flag.Bool("fixed", false, "single check: check the corrected (§6) protocol")
 		showTrace = flag.Bool("trace", false, "single check: print the counter-example when the property fails")
 		maxStates = flag.Int("max-states", 20_000_000, "state-space limit per check")
-		workers   = flag.Int("workers", 0, "tables mode: concurrent table cells (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "worker goroutines: parallel-BFS workers for a single check, concurrent table cells for tables (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
 
 	opts := mc.Options{MaxStates: *maxStates}
 	switch {
 	case *table != "":
+		// Tables parallelise across cells (each cell is an independent
+		// model), so the per-cell BFS stays sequential.
 		if err := runTables(*table, int32(*tmax), *workers, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "hbcheck:", err)
 			os.Exit(1)
 		}
 	case *variant != "":
+		// A single check has only one model, so the workers go to the
+		// BFS itself. Counts and counter-example traces are identical
+		// at any worker count.
+		opts.Workers = *workers
+		if opts.Workers <= 0 {
+			opts.Workers = runtime.GOMAXPROCS(0)
+		}
 		ok, err := runSingle(*variant, *prop, int32(*tmin), int32(*tmax), *n, *fixed, *showTrace, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hbcheck:", err)

@@ -83,6 +83,7 @@ func run(args []string, w io.Writer) int {
 		horizon   = fs.Int("horizon", 0, "virtual run length; > 0 selects single-run mode")
 		maxDelay  = fs.Int("maxdelay", 0, "per-direction link delay bound (single-run mode)")
 		mutate    = fs.String("mutate", "", "inject a named detector defect (single-run mode)")
+		workers   = fs.Int("workers", 1, "concurrent walks per campaign; results are identical at any count (walk mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -94,7 +95,7 @@ func run(args []string, w io.Writer) int {
 		fmt.Fprintln(w, "hbconform: -schedule/-mutate need single-run mode (set -horizon)")
 		return 2
 	}
-	return runWalks(w, *variant, *walks, *seed, *maxStates, *shrink)
+	return runWalks(w, *variant, *walks, *seed, *maxStates, *shrink, *workers)
 }
 
 func runSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, horizon, maxDelay int, seed int64, maxStates int, schedule, mutate string) int {
@@ -176,7 +177,7 @@ func runSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, h
 	return status
 }
 
-func runWalks(w io.Writer, variantName string, walks int, seed int64, maxStates int, shrink bool) int {
+func runWalks(w io.Writer, variantName string, walks int, seed int64, maxStates int, shrink bool, workers int) int {
 	list := variants
 	if variantName != "all" {
 		v, err := parseVariant(variantName)
@@ -190,7 +191,7 @@ func runWalks(w io.Writer, variantName string, walks int, seed int64, maxStates 
 	for _, v := range list {
 		ec := conform.ExploreConfig{
 			Variant: v, Walks: walks, Seed: seed,
-			MaxStates: maxStates, Shrink: shrink,
+			MaxStates: maxStates, Shrink: shrink, Workers: workers,
 		}
 		res, err := ec.Explore()
 		if err != nil {

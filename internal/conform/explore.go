@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -30,8 +32,14 @@ type ExploreConfig struct {
 	// zero link delay) before reporting.
 	Shrink bool
 	// Verify overrides the model-checking backend for verdict diffing;
-	// nil uses models.Verify, cached per (config, property).
+	// nil uses models.Verify, cached per (config, property). With Workers
+	// above one, a custom Verify is serialised behind a mutex.
 	Verify VerifyFunc
+	// Workers is the number of concurrent walks; values below 2 run the
+	// campaign on the calling goroutine. The result is identical at any
+	// worker count: each walk derives its parameters from Seed and its
+	// index alone, and outcomes are aggregated in walk order.
+	Workers int
 }
 
 // WalkFailure is one non-conforming walk.
@@ -64,6 +72,71 @@ type ExploreResult struct {
 	Failures             []WalkFailure
 }
 
+// specCache deduplicates specification builds across concurrent walks:
+// the first walk to request a model config builds its Spec; every other
+// walk blocks on that build through the entry's once.
+type specCache struct {
+	mu      sync.Mutex
+	opts    mc.Options
+	entries map[models.Config]*specEntry
+}
+
+type specEntry struct {
+	once sync.Once
+	sp   *Spec
+	err  error
+}
+
+func (c *specCache) get(cfg models.Config) (*Spec, error) {
+	c.mu.Lock()
+	e, ok := c.entries[cfg]
+	if !ok {
+		e = &specEntry{}
+		c.entries[cfg] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.sp, e.err = BuildSpec(cfg, c.opts) })
+	return e.sp, e.err
+}
+
+// cachedVerify wraps models.Verify with a per-(config, property) cache
+// safe for concurrent walks; like specCache, concurrent requests for the
+// same key share one model-checking run.
+func cachedVerify(opts mc.Options) VerifyFunc {
+	type vkey struct {
+		cfg  models.Config
+		prop models.Property
+	}
+	type ventry struct {
+		once sync.Once
+		v    models.Verdict
+		err  error
+	}
+	var mu sync.Mutex
+	cache := make(map[vkey]*ventry)
+	return func(cfg models.Config, p models.Property) (models.Verdict, error) {
+		k := vkey{cfg, p}
+		mu.Lock()
+		e, ok := cache[k]
+		if !ok {
+			e = &ventry{}
+			cache[k] = e
+		}
+		mu.Unlock()
+		e.once.Do(func() { e.v, e.err = models.Verify(cfg, p, opts) })
+		return e.v, e.err
+	}
+}
+
+// walkOutcome is one walk's contribution to the campaign result.
+type walkOutcome struct {
+	clean      bool
+	events     int
+	consistent int
+	fail       *WalkFailure
+	err        error
+}
+
 // Explore runs the campaign. It returns an error only for infrastructure
 // failures (spec construction, broken schedules); non-conformance lands
 // in the result's Failures.
@@ -73,69 +146,105 @@ func (ec ExploreConfig) Explore() (*ExploreResult, error) {
 		walks = 100
 	}
 	opts := mc.Options{MaxStates: ec.MaxStates}
-	specs := make(map[models.Config]*Spec)
+	specs := &specCache{opts: opts, entries: make(map[models.Config]*specEntry)}
 	verify := ec.Verify
-	if verify == nil {
-		type vkey struct {
-			cfg  models.Config
-			prop models.Property
-		}
-		cache := make(map[vkey]models.Verdict)
+	switch {
+	case verify == nil:
+		verify = cachedVerify(opts)
+	case ec.Workers > 1:
+		// A caller-supplied backend makes no thread-safety promise.
+		var mu sync.Mutex
+		inner := verify
 		verify = func(cfg models.Config, p models.Property) (models.Verdict, error) {
-			if v, ok := cache[vkey{cfg, p}]; ok {
-				return v, nil
-			}
-			v, err := models.Verify(cfg, p, opts)
-			if err == nil {
-				cache[vkey{cfg, p}] = v
-			}
-			return v, err
+			mu.Lock()
+			defer mu.Unlock()
+			return inner(cfg, p)
 		}
 	}
 
-	res := &ExploreResult{Variant: ec.Variant, Walks: walks}
-	for w := 0; w < walks; w++ {
+	runWalk := func(w int) walkOutcome {
 		rng := rand.New(rand.NewSource(ec.Seed + int64(w)*0x9e3779b97f4a7c))
 		rc := walkRun(ec.Variant, rng)
-		sp, ok := specs[rc.Model]
-		if !ok {
-			var err error
-			sp, err = BuildSpec(rc.Model, opts)
-			if err != nil {
-				return nil, err
-			}
-			specs[rc.Model] = sp
+		sp, err := specs.get(rc.Model)
+		if err != nil {
+			return walkOutcome{err: err}
 		}
 		out, err := Run(rc)
 		if err != nil {
-			return nil, fmt.Errorf("conform: walk %d: %w", w, err)
+			return walkOutcome{err: fmt.Errorf("conform: walk %d: %w", w, err)}
 		}
-		res.Events += len(out.Events)
+		o := walkOutcome{events: len(out.Events)}
 		div := sp.CheckTrace(out.Events, rc.Horizon)
 		tv := EvaluateTrace(rc.Model, out.Events, out.Lost, rc.Horizon)
 		diffs, err := DiffVerdicts(rc.Model, tv, verify)
 		if err != nil {
-			return nil, fmt.Errorf("conform: walk %d: %w", w, err)
+			return walkOutcome{err: fmt.Errorf("conform: walk %d: %w", w, err)}
 		}
 		var mismatches []VerdictDiff
 		for _, d := range diffs {
 			if d.Mismatch {
 				mismatches = append(mismatches, d)
 			} else {
-				res.ConsistentViolations += len(d.Runtime)
+				o.consistent += len(d.Runtime)
 			}
 		}
 		if div == nil && len(mismatches) == 0 {
-			res.Clean++
-			continue
+			o.clean = true
+			return o
 		}
-		fail := WalkFailure{Walk: w, Run: rc, Div: div, Mismatches: mismatches}
+		fail := &WalkFailure{Walk: w, Run: rc, Div: div, Mismatches: mismatches}
 		if ec.Shrink && div != nil {
 			if shrunk, sdiv, err := ShrinkRun(rc, sp); err == nil {
 				fail.Shrunk, fail.ShrunkDiv = &shrunk, sdiv
 			}
 		}
-		res.Failures = append(res.Failures, fail)
+		o.fail = fail
+		return o
+	}
+
+	outs := make([]walkOutcome, walks)
+	if workers := min(ec.Workers, walks); workers > 1 {
+		// Workers claim walk indices from an atomic counter and write into
+		// per-walk slots; aggregation below runs in walk order, so the
+		// result is independent of claim interleaving.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					w := int(next.Add(1)) - 1
+					if w >= walks {
+						return
+					}
+					outs[w] = runWalk(w)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for w := 0; w < walks; w++ {
+			outs[w] = runWalk(w)
+			if outs[w].err != nil {
+				break // later slots stay zero; aggregation stops here anyway
+			}
+		}
+	}
+
+	res := &ExploreResult{Variant: ec.Variant, Walks: walks}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Events += o.events
+		res.ConsistentViolations += o.consistent
+		if o.clean {
+			res.Clean++
+		}
+		if o.fail != nil {
+			res.Failures = append(res.Failures, *o.fail)
+		}
 	}
 	return res, nil
 }

@@ -39,6 +39,30 @@ func TestExploreSmallCampaign(t *testing.T) {
 	}
 }
 
+// TestExploreWorkersDeterminism pins the campaign contract: any Workers
+// count produces the same campaign result as a sequential run.
+func TestExploreWorkersDeterminism(t *testing.T) {
+	base := ExploreConfig{Variant: models.Binary, Walks: 8, Seed: 5, Shrink: true, Workers: 1}
+	want, err := base.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		ec := base
+		ec.Workers = workers
+		got, err := ec.Explore()
+		if err != nil {
+			t.Fatalf("Explore(workers=%d): %v", workers, err)
+		}
+		if got.Walks != want.Walks || got.Clean != want.Clean ||
+			got.Events != want.Events ||
+			got.ConsistentViolations != want.ConsistentViolations ||
+			len(got.Failures) != len(want.Failures) {
+			t.Fatalf("workers=%d diverged: %+v vs %+v", workers, got, want)
+		}
+	}
+}
+
 // TestShrinkRunMinimisesMutant shrinks the expiry+1 repro: the padded
 // link-failure event is irrelevant and must be dropped, the crash is
 // load-bearing and must survive, and the horizon is trimmed to just past
@@ -187,7 +211,7 @@ func TestLabelConstructors(t *testing.T) {
 func TestRecorderReset(t *testing.T) {
 	r := NewRecorder()
 	r.ObserveStep(1, 3, detector.Trigger{Kind: detector.TriggerCrash},
-		[]core.Action{core.Inactivate{Voluntary: true}})
+		[]core.Action{core.Inactivate(true)})
 	if ev := r.Events(); len(ev) != 1 || ev[0].Label != labelCrash(1) || ev[0].Time != 3 {
 		t.Fatalf("events = %v", ev)
 	}
@@ -202,18 +226,18 @@ func TestRecorderReset(t *testing.T) {
 // else through.
 func TestSkewMachineClamp(t *testing.T) {
 	inner := fakeMachine{actions: []core.Action{
-		core.SetTimer{ID: core.TimerExpiry, Delay: 1},
-		core.SetTimer{ID: core.TimerRound, Delay: 5},
+		core.SetTimer(core.TimerExpiry, 1),
+		core.SetTimer(core.TimerRound, 5),
 	}}
 	sk := &skewMachine{inner: inner, timer: core.TimerExpiry, delta: -3}
 	for _, acts := range [][]core.Action{
 		sk.Start(0), sk.OnTimer(core.TimerExpiry, 1), sk.OnBeat(core.Beat{}, 2), sk.Crash(3),
 	} {
-		if st := acts[0].(core.SetTimer); st.Delay != 1 {
-			t.Fatalf("clamped delay = %d, want 1", st.Delay)
+		if acts[0].Delay != 1 {
+			t.Fatalf("clamped delay = %d, want 1", acts[0].Delay)
 		}
-		if st := acts[1].(core.SetTimer); st.Delay != 5 {
-			t.Fatalf("other timer skewed: %d", st.Delay)
+		if acts[1].Delay != 5 {
+			t.Fatalf("other timer skewed: %d", acts[1].Delay)
 		}
 	}
 	if sk.Status() != core.StatusActive {

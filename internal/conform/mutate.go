@@ -52,12 +52,12 @@ type skewMachine struct {
 
 func (m *skewMachine) skew(actions []core.Action) []core.Action {
 	for i, a := range actions {
-		if st, ok := a.(core.SetTimer); ok && st.ID == m.timer {
-			st.Delay += m.delta
-			if st.Delay < 1 {
-				st.Delay = 1
+		if a.Kind == core.ActSetTimer && a.ID == m.timer {
+			a.Delay += m.delta
+			if a.Delay < 1 {
+				a.Delay = 1
 			}
-			actions[i] = st
+			actions[i] = a
 		}
 	}
 	return actions

@@ -84,7 +84,7 @@ func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigg
 
 	case detector.TriggerCrash:
 		for _, a := range actions {
-			if in, ok := a.(core.Inactivate); ok && in.Voluntary {
+			if a.Kind == core.ActInactivate && a.Voluntary {
 				add(labelCrash(int(id)))
 			}
 		}
@@ -112,9 +112,9 @@ func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigg
 func (r *Recorder) addReactions(add func(string), id netem.NodeID, tr detector.Trigger, actions []core.Action) {
 	coord := id == netem.NodeID(core.CoordinatorID)
 	sentBeat := false
-	for _, a := range actions {
-		switch act := a.(type) {
-		case core.SendBeat:
+	for _, act := range actions {
+		switch act.Kind {
+		case core.ActSendBeat:
 			switch {
 			case coord && act.Beat.Stay:
 				// Coalesce the per-member unicasts of one round into the
@@ -135,12 +135,12 @@ func (r *Recorder) addReactions(add func(string), id netem.NodeID, tr detector.T
 			default:
 				add(labelSendLeave(int(id)))
 			}
-		case core.SetTimer:
+		case core.ActSetTimer:
 			if coord && act.ID == core.TimerRound && tr.Kind == detector.TriggerTimer && !sentBeat {
 				sentBeat = true
 				add(labelSendBeat(0))
 			}
-		case core.Inactivate:
+		case core.ActInactivate:
 			if act.Voluntary {
 				add(labelCrash(int(id)))
 			} else {

@@ -97,10 +97,16 @@ type Coordinator struct {
 	status  Status
 	t       Tick // current round length
 	members map[ProcID]*memberState
+	// order caches the member IDs in ascending order, maintained on every
+	// join and leave, so per-round iteration neither sorts nor allocates.
+	order []ProcID
 	// left records departed peers and the incarnation that left; without
 	// AllowRejoin, departure is permanent.
 	left    map[ProcID]uint8
 	started bool
+	// acts is the scratch slice behind every returned action list (see
+	// the Machine contract).
+	acts []Action
 }
 
 var _ Machine = (*Coordinator)(nil)
@@ -122,8 +128,25 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		// grace round; a peer is only suspected after missing a full
 		// exchange it was given the chance to answer.
 		c.members[id] = &memberState{rcvd: true, tm: cfg.TMax}
+		c.insertOrdered(id)
 	}
 	return c, nil
+}
+
+// insertOrdered adds id to the sorted order cache.
+func (c *Coordinator) insertOrdered(id ProcID) {
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	c.order = append(c.order, 0)
+	copy(c.order[i+1:], c.order[i:])
+	c.order[i] = id
+}
+
+// removeOrdered drops id from the sorted order cache.
+func (c *Coordinator) removeOrdered(id ProcID) {
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	if i < len(c.order) && c.order[i] == id {
+		c.order = append(c.order[:i], c.order[i+1:]...)
+	}
 }
 
 // Status implements Machine.
@@ -132,14 +155,10 @@ func (c *Coordinator) Status() Status { return c.status }
 // RoundLength returns the current waiting time t.
 func (c *Coordinator) RoundLength() Tick { return c.t }
 
-// Members returns the current peer set in ascending order.
+// Members returns the current peer set in ascending order. The slice is
+// freshly allocated; callers may keep it.
 func (c *Coordinator) Members() []ProcID {
-	ids := make([]ProcID, 0, len(c.members))
-	for id := range c.members {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return append([]ProcID(nil), c.order...)
 }
 
 // Start implements Machine. The original protocol waits out a full round
@@ -149,20 +168,19 @@ func (c *Coordinator) Start(now Tick) []Action {
 		return nil
 	}
 	c.started = true
-	actions := []Action{SetTimer{ID: TimerRound, Delay: c.t}}
+	actions := append(c.acts[:0], SetTimer(TimerRound, c.t))
 	if c.cfg.Revised {
-		actions = append(actions, c.sendAll()...)
+		actions = c.appendSendAll(actions)
 	}
+	c.acts = actions
 	return actions
 }
 
-// sendAll emits one beat per current member, in ascending ID order for
-// determinism.
-func (c *Coordinator) sendAll() []Action {
-	ids := c.Members()
-	actions := make([]Action, 0, len(ids))
-	for _, id := range ids {
-		actions = append(actions, SendBeat{To: id, Beat: Beat{From: CoordinatorID, Stay: true}})
+// appendSendAll appends one beat per current member, in ascending ID
+// order for determinism.
+func (c *Coordinator) appendSendAll(actions []Action) []Action {
+	for _, id := range c.order {
+		actions = append(actions, SendBeat(id, Beat{From: CoordinatorID, Stay: true}))
 	}
 	return actions
 }
@@ -205,6 +223,7 @@ func (c *Coordinator) OnBeat(b Beat, now Tick) []Action {
 		// round broadcast, exactly as in the expanding protocol: p[0]
 		// does not acknowledge out of band.
 		c.members[b.From] = &memberState{rcvd: true, tm: c.cfg.TMax, inc: b.Inc}
+		c.insertOrdered(b.From)
 		return nil
 	default:
 		return nil // fixed membership ignores strangers
@@ -222,11 +241,13 @@ func (c *Coordinator) onLeave(from ProcID, inc uint8) []Action {
 			return nil // stale leave from a previous incarnation
 		}
 		delete(c.members, from)
+		c.removeOrdered(from)
 	}
 	if prev, ok := c.left[from]; !ok || inc > prev {
 		c.left[from] = inc
 	}
-	return []Action{SendBeat{To: from, Beat: Beat{From: CoordinatorID, Stay: false, Inc: inc}}}
+	c.acts = append(c.acts[:0], SendBeat(from, Beat{From: CoordinatorID, Stay: false, Inc: inc}))
+	return c.acts
 }
 
 // OnTimer implements Machine. At each round timeout p[0] applies the
@@ -238,12 +259,15 @@ func (c *Coordinator) OnTimer(id TimerID, now Tick) []Action {
 	if c.status != StatusActive || id != TimerRound {
 		return nil
 	}
-	var suspects []ProcID
+	// Iterating the sorted order cache emits suspects in ascending ID
+	// order directly, with no per-round sort or allocation.
+	actions := c.acts[:0]
 	next := c.cfg.TMax // round length with no members: idle at tmax
-	for pid, m := range c.members {
+	for _, pid := range c.order {
+		m := c.members[pid]
 		tm, ok := c.cfg.NextWait(m.tm, m.rcvd)
 		if !ok {
-			suspects = append(suspects, pid)
+			actions = append(actions, Suspect(pid))
 		}
 		m.tm = tm
 		m.rcvd = false
@@ -251,18 +275,17 @@ func (c *Coordinator) OnTimer(id TimerID, now Tick) []Action {
 			next = tm
 		}
 	}
-	if len(suspects) > 0 {
-		sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+	if len(actions) > 0 {
 		c.status = StatusInactive
-		actions := make([]Action, 0, len(suspects)+1)
-		for _, pid := range suspects {
-			actions = append(actions, Suspect{Proc: pid})
-		}
-		return append(actions, Inactivate{Voluntary: false})
+		actions = append(actions, Inactivate(false))
+		c.acts = actions
+		return actions
 	}
 	c.t = next
-	actions := c.sendAll()
-	return append(actions, SetTimer{ID: TimerRound, Delay: c.t})
+	actions = c.appendSendAll(actions)
+	actions = append(actions, SetTimer(TimerRound, c.t))
+	c.acts = actions
+	return actions
 }
 
 // Crash implements Machine.
@@ -271,5 +294,6 @@ func (c *Coordinator) Crash(now Tick) []Action {
 		return nil
 	}
 	c.status = StatusCrashed
-	return []Action{CancelTimer{ID: TimerRound}, Inactivate{Voluntary: true}}
+	c.acts = append(c.acts[:0], CancelTimer(TimerRound), Inactivate(true))
+	return c.acts
 }

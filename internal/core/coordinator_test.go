@@ -4,19 +4,19 @@ import (
 	"testing"
 )
 
-// actionsOf extracts all actions of type T in order.
-func actionsOf[T Action](actions []Action) []T {
-	var out []T
+// actionsOf extracts all actions of the given kind, in order.
+func actionsOf(actions []Action, kind ActionKind) []Action {
+	var out []Action
 	for _, a := range actions {
-		if v, ok := a.(T); ok {
-			out = append(out, v)
+		if a.Kind == kind {
+			out = append(out, a)
 		}
 	}
 	return out
 }
 
-func hasAction[T Action](actions []Action) bool {
-	return len(actionsOf[T](actions)) > 0
+func hasAction(actions []Action, kind ActionKind) bool {
+	return len(actionsOf(actions, kind)) > 0
 }
 
 func newBinaryP0(t *testing.T, cfg Config) *Coordinator {
@@ -63,16 +63,16 @@ func TestCoordinatorConfigValidate(t *testing.T) {
 func TestBinaryCoordinatorFirstRound(t *testing.T) {
 	c := newBinaryP0(t, Config{TMin: 1, TMax: 10})
 	start := c.Start(0)
-	if hasAction[SendBeat](start) {
+	if hasAction(start, ActSendBeat) {
 		t.Fatal("original protocol must not beat before the first round expires")
 	}
-	timers := actionsOf[SetTimer](start)
+	timers := actionsOf(start, ActSetTimer)
 	if len(timers) != 1 || timers[0].ID != TimerRound || timers[0].Delay != 10 {
 		t.Fatalf("start timers = %v, want round@10", timers)
 	}
 	// First timeout: initial grace (rcvd=true) keeps t=tmax and beats.
 	acts := c.OnTimer(TimerRound, 10)
-	beats := actionsOf[SendBeat](acts)
+	beats := actionsOf(acts, ActSendBeat)
 	if len(beats) != 1 || beats[0].To != 1 || !beats[0].Beat.Stay {
 		t.Fatalf("first round beats = %v", beats)
 	}
@@ -84,7 +84,7 @@ func TestBinaryCoordinatorFirstRound(t *testing.T) {
 func TestRevisedCoordinatorBeatsImmediately(t *testing.T) {
 	c := newBinaryP0(t, Config{TMin: 1, TMax: 10, Revised: true})
 	start := c.Start(0)
-	beats := actionsOf[SendBeat](start)
+	beats := actionsOf(start, ActSendBeat)
 	if len(beats) != 1 || beats[0].To != 1 {
 		t.Fatalf("revised start beats = %v, want one to p[1]", beats)
 	}
@@ -103,21 +103,21 @@ func TestBinaryCoordinatorAcceleratesAndInactivates(t *testing.T) {
 		if c.RoundLength() != w {
 			t.Fatalf("t = %d, want %d", c.RoundLength(), w)
 		}
-		if !hasAction[SendBeat](acts) {
+		if !hasAction(acts, ActSendBeat) {
 			t.Fatalf("round at t=%d did not beat", w)
 		}
 	}
 	now += c.RoundLength()
 	acts := c.OnTimer(TimerRound, now)
-	sus := actionsOf[Suspect](acts)
+	sus := actionsOf(acts, ActSuspect)
 	if len(sus) != 1 || sus[0].Proc != 1 {
 		t.Fatalf("suspects = %v, want p[1]", sus)
 	}
-	inact := actionsOf[Inactivate](acts)
+	inact := actionsOf(acts, ActInactivate)
 	if len(inact) != 1 || inact[0].Voluntary {
 		t.Fatalf("inactivate = %v, want non-voluntary", inact)
 	}
-	if hasAction[SendBeat](acts) {
+	if hasAction(acts, ActSendBeat) {
 		t.Fatal("inactivating round must not beat")
 	}
 	if c.Status() != StatusInactive {
@@ -193,7 +193,7 @@ func TestStaticCoordinatorMinRule(t *testing.T) {
 	if c.RoundLength() != 5 {
 		t.Fatalf("t = %d, want min(tm)=5", c.RoundLength())
 	}
-	if got := len(actionsOf[SendBeat](acts)); got != 3 {
+	if got := len(actionsOf(acts, ActSendBeat)); got != 3 {
 		t.Fatalf("beats = %d, want 3", got)
 	}
 	// p[1] and p[3] keep silent; p[2] answers every round. The rounds
@@ -210,7 +210,7 @@ func TestStaticCoordinatorMinRule(t *testing.T) {
 	}
 	c.OnBeat(Beat{From: 2, Stay: true}, 27)
 	acts = c.OnTimer(TimerRound, 28) // p1,p3 exhausted
-	sus := actionsOf[Suspect](acts)
+	sus := actionsOf(acts, ActSuspect)
 	if len(sus) != 2 || sus[0].Proc != 1 || sus[1].Proc != 3 {
 		t.Fatalf("suspects = %v, want p[1],p[3]", sus)
 	}
@@ -233,18 +233,18 @@ func TestExpandingCoordinatorAdmitsJoiner(t *testing.T) {
 	}
 	// Idle rounds with no members keep t at tmax and send nothing.
 	acts := c.OnTimer(TimerRound, 10)
-	if hasAction[SendBeat](acts) || c.RoundLength() != 10 {
+	if hasAction(acts, ActSendBeat) || c.RoundLength() != 10 {
 		t.Fatalf("idle round: %v, t=%d", acts, c.RoundLength())
 	}
 	// A join request is admitted silently; the ack is the next broadcast.
-	if acts := c.OnBeat(Beat{From: 7, Stay: true}, 12); hasAction[SendBeat](acts) {
+	if acts := c.OnBeat(Beat{From: 7, Stay: true}, 12); hasAction(acts, ActSendBeat) {
 		t.Fatal("join must not be acknowledged out of band")
 	}
 	if got := c.Members(); len(got) != 1 || got[0] != 7 {
 		t.Fatalf("members = %v, want [7]", got)
 	}
 	acts = c.OnTimer(TimerRound, 20)
-	beats := actionsOf[SendBeat](acts)
+	beats := actionsOf(acts, ActSendBeat)
 	if len(beats) != 1 || beats[0].To != 7 {
 		t.Fatalf("beats = %v, want to p[7]", beats)
 	}
@@ -266,7 +266,7 @@ func TestDynamicCoordinatorLeave(t *testing.T) {
 	}
 	// p[3] leaves; the ack carries the same false parameter.
 	acts := c.OnBeat(Beat{From: 3, Stay: false}, 5)
-	beats := actionsOf[SendBeat](acts)
+	beats := actionsOf(acts, ActSendBeat)
 	if len(beats) != 1 || beats[0].To != 3 || beats[0].Beat.Stay {
 		t.Fatalf("leave ack = %v", beats)
 	}
@@ -280,7 +280,7 @@ func TestDynamicCoordinatorLeave(t *testing.T) {
 	}
 	// ...but a retried leave is re-acknowledged (ack loss tolerance).
 	acts = c.OnBeat(Beat{From: 3, Stay: false}, 7)
-	if got := actionsOf[SendBeat](acts); len(got) != 1 || got[0].Beat.Stay {
+	if got := actionsOf(acts, ActSendBeat); len(got) != 1 || got[0].Beat.Stay {
 		t.Fatalf("leave retry ack = %v", acts)
 	}
 	// The departed process no longer drives acceleration: only p[4]
@@ -300,10 +300,10 @@ func TestCoordinatorCrashStopsEverything(t *testing.T) {
 	c := newBinaryP0(t, Config{TMin: 1, TMax: 10})
 	c.Start(0)
 	acts := c.Crash(3)
-	if !hasAction[CancelTimer](acts) {
+	if !hasAction(acts, ActCancelTimer) {
 		t.Fatal("crash must cancel the round timer")
 	}
-	inact := actionsOf[Inactivate](acts)
+	inact := actionsOf(acts, ActInactivate)
 	if len(inact) != 1 || !inact[0].Voluntary {
 		t.Fatalf("inactivate = %v, want voluntary", inact)
 	}
@@ -354,7 +354,7 @@ func TestTwoPhaseCoordinatorDropsToTMin(t *testing.T) {
 		t.Fatalf("t = %d, want tmin=4", c.RoundLength())
 	}
 	acts := c.OnTimer(TimerRound, 24) // second miss → inactivate
-	if !hasAction[Inactivate](acts) || c.Status() != StatusInactive {
+	if !hasAction(acts, ActInactivate) || c.Status() != StatusInactive {
 		t.Fatalf("two-phase second miss: %v, status %v", acts, c.Status())
 	}
 }

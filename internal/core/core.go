@@ -118,55 +118,103 @@ type Beat struct {
 	Inc uint8
 }
 
-// Action is an effect requested by a machine; the runtime executes it.
-type Action interface{ isAction() }
+// ActionKind discriminates the variants of Action.
+type ActionKind uint8
 
-// SendBeat requests transmission of a heartbeat.
-type SendBeat struct {
+// Action kinds.
+const (
+	// ActSendBeat requests transmission of a heartbeat (To, Beat).
+	ActSendBeat ActionKind = iota + 1
+	// ActSetTimer arms (or re-arms) the named timer (ID, Delay).
+	ActSetTimer
+	// ActCancelTimer disarms the named timer if pending (ID).
+	ActCancelTimer
+	// ActInactivate reports that the machine stopped participating
+	// (Voluntary distinguishes an injected crash from a protocol
+	// decision).
+	ActInactivate
+	// ActJoined reports that an expanding/dynamic participant has been
+	// acknowledged by p[0].
+	ActJoined
+	// ActLeft reports that a dynamic participant completed a graceful
+	// leave.
+	ActLeft
+	// ActSuspect reports that the coordinator's waiting time for Proc
+	// decayed below tmin — the protocol's failure signal for that
+	// process. In the papers the coordinator reacts by inactivating
+	// itself; Suspect additionally exposes which process triggered it,
+	// which downstream failure detectors need.
+	ActSuspect
+)
+
+// String implements fmt.Stringer.
+func (k ActionKind) String() string {
+	switch k {
+	case ActSendBeat:
+		return "send-beat"
+	case ActSetTimer:
+		return "set-timer"
+	case ActCancelTimer:
+		return "cancel-timer"
+	case ActInactivate:
+		return "inactivate"
+	case ActJoined:
+		return "joined"
+	case ActLeft:
+		return "left"
+	case ActSuspect:
+		return "suspect"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one effect requested by a machine; the runtime executes it.
+// It is a flat tagged struct rather than an interface: machines emit
+// actions on every event, and boxing each one behind an interface costs
+// an allocation per action. Which fields are meaningful depends on Kind
+// (see the ActionKind constants); the constructor functions SendBeat,
+// SetTimer, CancelTimer, Inactivate, Joined, Left, and Suspect build
+// well-formed values.
+type Action struct {
+	Kind ActionKind
+	// To and Beat accompany ActSendBeat.
 	To   ProcID
 	Beat Beat
-}
-
-// SetTimer arms (or re-arms) the named timer to fire after Delay ticks.
-type SetTimer struct {
+	// ID accompanies ActSetTimer and ActCancelTimer; Delay only the
+	// former.
 	ID    TimerID
 	Delay Tick
-}
-
-// CancelTimer disarms the named timer if pending.
-type CancelTimer struct {
-	ID TimerID
-}
-
-// Inactivate reports that the machine has stopped participating.
-// Voluntary distinguishes an injected crash from a protocol decision.
-type Inactivate struct {
+	// Voluntary accompanies ActInactivate.
 	Voluntary bool
-}
-
-// Joined reports that an expanding/dynamic participant has been
-// acknowledged by p[0].
-type Joined struct{}
-
-// Left reports that a dynamic participant has completed a graceful leave.
-type Left struct{}
-
-// Suspect reports that the coordinator's waiting time for Proc has decayed
-// below tmin — the protocol's failure signal for that process. In the
-// papers the coordinator reacts by inactivating itself; Suspect additionally
-// exposes which process triggered it, which downstream failure detectors
-// need.
-type Suspect struct {
+	// Proc accompanies ActSuspect.
 	Proc ProcID
 }
 
-func (SendBeat) isAction()    {}
-func (SetTimer) isAction()    {}
-func (CancelTimer) isAction() {}
-func (Inactivate) isAction()  {}
-func (Joined) isAction()      {}
-func (Left) isAction()        {}
-func (Suspect) isAction()     {}
+// SendBeat requests transmission of b to process to.
+func SendBeat(to ProcID, b Beat) Action { return Action{Kind: ActSendBeat, To: to, Beat: b} }
+
+// SetTimer arms (or re-arms) timer id to fire after delay ticks.
+func SetTimer(id TimerID, delay Tick) Action {
+	return Action{Kind: ActSetTimer, ID: id, Delay: delay}
+}
+
+// CancelTimer disarms timer id if pending.
+func CancelTimer(id TimerID) Action { return Action{Kind: ActCancelTimer, ID: id} }
+
+// Inactivate reports that the machine has stopped participating.
+func Inactivate(voluntary bool) Action {
+	return Action{Kind: ActInactivate, Voluntary: voluntary}
+}
+
+// Joined reports acknowledgement of an expanding/dynamic join.
+func Joined() Action { return Action{Kind: ActJoined} }
+
+// Left reports completion of a dynamic participant's graceful leave.
+func Left() Action { return Action{Kind: ActLeft} }
+
+// Suspect reports that proc is suspected down.
+func Suspect(proc ProcID) Action { return Action{Kind: ActSuspect, Proc: proc} }
 
 // Machine is the event interface shared by every protocol role.
 //
@@ -177,6 +225,10 @@ func (Suspect) isAction()     {}
 // still receive, they just no longer react — per the papers' channel
 // assumption); when Config.Fixed is set, deliver pending beats before a
 // timer scheduled at the same instant (§6.1 receive priority).
+//
+// Action slices returned by a machine are scratch buffers owned by the
+// machine: they stay valid only until the next call on the same machine.
+// A runtime that needs to retain actions across calls must copy them.
 type Machine interface {
 	// Start initialises the machine at virtual time now.
 	Start(now Tick) []Action
@@ -301,15 +353,17 @@ var ErrBadBeat = errors.New("core: malformed beat")
 // sender, then a packed byte with the stay flag in bit 0 and the
 // incarnation in bits 1–7.
 func (b Beat) Marshal() []byte {
-	buf := make([]byte, beatWire)
-	buf[0] = 1 // version
-	buf[1] = byte(uint16(b.From) >> 8)
-	buf[2] = byte(uint16(b.From))
-	buf[3] = (b.Inc & 0x7F) << 1
+	return b.AppendMarshal(make([]byte, 0, beatWire))
+}
+
+// AppendMarshal appends the beat's wire encoding to dst and returns the
+// extended slice; with capacity in dst it allocates nothing.
+func (b Beat) AppendMarshal(dst []byte) []byte {
+	packed := (b.Inc & 0x7F) << 1
 	if b.Stay {
-		buf[3] |= 1
+		packed |= 1
 	}
-	return buf
+	return append(dst, 1 /* version */, byte(uint16(b.From)>>8), byte(uint16(b.From)), packed)
 }
 
 // UnmarshalBeat decodes a beat produced by Marshal.

@@ -59,6 +59,9 @@ type PlainCoordinator struct {
 	rcvd    map[ProcID]bool
 	misses  map[ProcID]int
 	started bool
+	// acts is the scratch slice behind every returned action list (see
+	// the Machine contract).
+	acts []Action
 }
 
 var _ Machine = (*PlainCoordinator)(nil)
@@ -89,7 +92,8 @@ func (c *PlainCoordinator) Start(now Tick) []Action {
 		return nil
 	}
 	c.started = true
-	return []Action{SetTimer{ID: TimerRound, Delay: c.cfg.Period}}
+	c.acts = append(c.acts[:0], SetTimer(TimerRound, c.cfg.Period))
+	return c.acts
 }
 
 // OnBeat implements Machine.
@@ -121,19 +125,24 @@ func (c *PlainCoordinator) OnTimer(id TimerID, now Tick) []Action {
 		c.rcvd[pid] = false
 	}
 	if len(suspects) > 0 {
+		// Terminal (inactivating) path; the sort's allocation is harmless.
 		sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
 		c.status = StatusInactive
-		actions := make([]Action, 0, len(suspects)+1)
+		actions := c.acts[:0]
 		for _, pid := range suspects {
-			actions = append(actions, Suspect{Proc: pid})
+			actions = append(actions, Suspect(pid))
 		}
-		return append(actions, Inactivate{Voluntary: false})
+		actions = append(actions, Inactivate(false))
+		c.acts = actions
+		return actions
 	}
-	actions := make([]Action, 0, len(c.cfg.Members)+1)
+	actions := c.acts[:0]
 	for _, pid := range c.cfg.Members {
-		actions = append(actions, SendBeat{To: pid, Beat: Beat{From: CoordinatorID, Stay: true}})
+		actions = append(actions, SendBeat(pid, Beat{From: CoordinatorID, Stay: true}))
 	}
-	return append(actions, SetTimer{ID: TimerRound, Delay: c.cfg.Period})
+	actions = append(actions, SetTimer(TimerRound, c.cfg.Period))
+	c.acts = actions
+	return actions
 }
 
 // Crash implements Machine.
@@ -142,7 +151,8 @@ func (c *PlainCoordinator) Crash(now Tick) []Action {
 		return nil
 	}
 	c.status = StatusCrashed
-	return []Action{CancelTimer{ID: TimerRound}, Inactivate{Voluntary: true}}
+	c.acts = append(c.acts[:0], CancelTimer(TimerRound), Inactivate(true))
+	return c.acts
 }
 
 // PlainResponder answers beats and inactivates after Bound ticks without
@@ -152,6 +162,9 @@ type PlainResponder struct {
 	bound   Tick
 	status  Status
 	started bool
+	// acts is the scratch slice behind every returned action list (see
+	// the Machine contract).
+	acts []Action
 }
 
 var _ Machine = (*PlainResponder)(nil)
@@ -177,7 +190,8 @@ func (r *PlainResponder) Start(now Tick) []Action {
 		return nil
 	}
 	r.started = true
-	return []Action{SetTimer{ID: TimerExpiry, Delay: r.bound}}
+	r.acts = append(r.acts[:0], SetTimer(TimerExpiry, r.bound))
+	return r.acts
 }
 
 // OnBeat implements Machine.
@@ -185,10 +199,11 @@ func (r *PlainResponder) OnBeat(b Beat, now Tick) []Action {
 	if r.status != StatusActive || b.From != CoordinatorID {
 		return nil
 	}
-	return []Action{
-		SendBeat{To: CoordinatorID, Beat: Beat{From: r.id, Stay: true}},
-		SetTimer{ID: TimerExpiry, Delay: r.bound},
-	}
+	r.acts = append(r.acts[:0],
+		SendBeat(CoordinatorID, Beat{From: r.id, Stay: true}),
+		SetTimer(TimerExpiry, r.bound),
+	)
+	return r.acts
 }
 
 // OnTimer implements Machine.
@@ -197,7 +212,8 @@ func (r *PlainResponder) OnTimer(id TimerID, now Tick) []Action {
 		return nil
 	}
 	r.status = StatusInactive
-	return []Action{Inactivate{Voluntary: false}}
+	r.acts = append(r.acts[:0], Inactivate(false))
+	return r.acts
 }
 
 // Crash implements Machine.
@@ -206,5 +222,6 @@ func (r *PlainResponder) Crash(now Tick) []Action {
 		return nil
 	}
 	r.status = StatusCrashed
-	return []Action{CancelTimer{ID: TimerExpiry}, Inactivate{Voluntary: true}}
+	r.acts = append(r.acts[:0], CancelTimer(TimerExpiry), Inactivate(true))
+	return r.acts
 }

@@ -39,9 +39,9 @@ func joinLeave(t *testing.T, c *Coordinator, p *Participant, now Tick) Tick {
 	if err != nil {
 		t.Fatalf("Leave: %v", err)
 	}
-	leaveBeat := actionsOf[SendBeat](acts)[0].Beat
+	leaveBeat := actionsOf(acts, ActSendBeat)[0].Beat
 	ackActs := c.OnBeat(leaveBeat, now+3)
-	ack := actionsOf[SendBeat](ackActs)[0].Beat
+	ack := actionsOf(ackActs, ActSendBeat)[0].Beat
 	p.OnBeat(ack, now+4)
 	if p.Status() != StatusLeft {
 		t.Fatalf("status = %v, want left", p.Status())
@@ -63,7 +63,7 @@ func TestRejoinHandshake(t *testing.T) {
 	if p.Incarnation() != 1 {
 		t.Fatalf("incarnation = %d, want 1", p.Incarnation())
 	}
-	beats := actionsOf[SendBeat](acts)
+	beats := actionsOf(acts, ActSendBeat)
 	if len(beats) != 1 || !beats[0].Beat.Stay || beats[0].Beat.Inc != 1 {
 		t.Fatalf("rejoin solicitation = %v", acts)
 	}
@@ -74,7 +74,7 @@ func TestRejoinHandshake(t *testing.T) {
 	}
 	// And the participant joins again on p[0]'s next beat.
 	joined := p.OnBeat(Beat{From: 0, Stay: true}, now+2)
-	if !hasAction[Joined](joined) || p.Status() != StatusActive {
+	if !hasAction(joined, ActJoined) || p.Status() != StatusActive {
 		t.Fatalf("rejoin completion: %v, status %v", joined, p.Status())
 	}
 }
@@ -99,7 +99,7 @@ func TestRejoinStaleBeatsIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.OnBeat(actionsOf[SendBeat](acts)[0].Beat, now+4)
+	c.OnBeat(actionsOf(acts, ActSendBeat)[0].Beat, now+4)
 	if len(c.Members()) != 0 {
 		t.Fatal("leave of incarnation 1 not processed")
 	}

@@ -10,6 +10,9 @@ type Responder struct {
 	id      ProcID
 	status  Status
 	started bool
+	// acts is the scratch slice behind every returned action list (see
+	// the Machine contract).
+	acts []Action
 }
 
 var _ Machine = (*Responder)(nil)
@@ -38,7 +41,8 @@ func (r *Responder) Start(now Tick) []Action {
 		return nil
 	}
 	r.started = true
-	return []Action{SetTimer{ID: TimerExpiry, Delay: r.cfg.ResponderBound()}}
+	r.acts = append(r.acts[:0], SetTimer(TimerExpiry, r.cfg.ResponderBound()))
+	return r.acts
 }
 
 // OnBeat implements Machine: reply right away and push out the watchdog.
@@ -46,10 +50,11 @@ func (r *Responder) OnBeat(b Beat, now Tick) []Action {
 	if r.status != StatusActive || b.From != CoordinatorID {
 		return nil
 	}
-	return []Action{
-		SendBeat{To: CoordinatorID, Beat: Beat{From: r.id, Stay: true}},
-		SetTimer{ID: TimerExpiry, Delay: r.cfg.ResponderBound()},
-	}
+	r.acts = append(r.acts[:0],
+		SendBeat(CoordinatorID, Beat{From: r.id, Stay: true}),
+		SetTimer(TimerExpiry, r.cfg.ResponderBound()),
+	)
+	return r.acts
 }
 
 // OnTimer implements Machine: the watchdog fired, so p[0] or the channel is
@@ -59,7 +64,8 @@ func (r *Responder) OnTimer(id TimerID, now Tick) []Action {
 		return nil
 	}
 	r.status = StatusInactive
-	return []Action{Inactivate{Voluntary: false}}
+	r.acts = append(r.acts[:0], Inactivate(false))
+	return r.acts
 }
 
 // Crash implements Machine.
@@ -68,7 +74,8 @@ func (r *Responder) Crash(now Tick) []Action {
 		return nil
 	}
 	r.status = StatusCrashed
-	return []Action{CancelTimer{ID: TimerExpiry}, Inactivate{Voluntary: true}}
+	r.acts = append(r.acts[:0], CancelTimer(TimerExpiry), Inactivate(true))
+	return r.acts
 }
 
 // Participant implements p[i] of the expanding and dynamic protocols: it
@@ -83,6 +90,9 @@ type Participant struct {
 	leaving bool
 	started bool
 	inc     uint8
+	// acts is the scratch slice behind every returned action list (see
+	// the Machine contract).
+	acts []Action
 }
 
 var _ Machine = (*Participant)(nil)
@@ -124,11 +134,12 @@ func (p *Participant) Start(now Tick) []Action {
 		return nil
 	}
 	p.started = true
-	return []Action{
-		SendBeat{To: CoordinatorID, Beat: p.beat(true)},
-		SetTimer{ID: TimerJoinResend, Delay: p.cfg.TMin},
-		SetTimer{ID: TimerExpiry, Delay: p.cfg.JoinerBound()},
-	}
+	p.acts = append(p.acts[:0],
+		SendBeat(CoordinatorID, p.beat(true)),
+		SetTimer(TimerJoinResend, p.cfg.TMin),
+		SetTimer(TimerExpiry, p.cfg.JoinerBound()),
+	)
+	return p.acts
 }
 
 // OnBeat implements Machine. The first beat from p[0] acknowledges the
@@ -145,29 +156,32 @@ func (p *Participant) OnBeat(b Beat, now Tick) []Action {
 			}
 			// Leave acknowledged.
 			p.status = StatusLeft
-			return []Action{
-				CancelTimer{ID: TimerJoinResend},
-				CancelTimer{ID: TimerExpiry},
-				Left{},
-			}
+			p.acts = append(p.acts[:0],
+				CancelTimer(TimerJoinResend),
+				CancelTimer(TimerExpiry),
+				Left(),
+			)
+			return p.acts
 		}
 		// p[0] has not processed the leave yet; repeat it.
-		return []Action{SendBeat{To: CoordinatorID, Beat: p.beat(false)}}
+		p.acts = append(p.acts[:0], SendBeat(CoordinatorID, p.beat(false)))
+		return p.acts
 	}
 	if !b.Stay {
 		return nil // stray leave-ack; we are not leaving
 	}
-	actions := []Action{
-		SendBeat{To: CoordinatorID, Beat: p.beat(true)},
-		SetTimer{ID: TimerExpiry, Delay: p.cfg.ResponderBound()},
-	}
+	actions := append(p.acts[:0],
+		SendBeat(CoordinatorID, p.beat(true)),
+		SetTimer(TimerExpiry, p.cfg.ResponderBound()),
+	)
 	if !p.joined {
 		p.joined = true
 		actions = append(actions,
-			CancelTimer{ID: TimerJoinResend},
-			Joined{},
+			CancelTimer(TimerJoinResend),
+			Joined(),
 		)
 	}
+	p.acts = actions
 	return actions
 }
 
@@ -182,10 +196,11 @@ func (p *Participant) OnTimer(id TimerID, now Tick) []Action {
 			return nil
 		}
 		// Re-solicit (join, or leave retry) every tmin.
-		return []Action{
-			SendBeat{To: CoordinatorID, Beat: p.beat(!p.leaving)},
-			SetTimer{ID: TimerJoinResend, Delay: p.cfg.TMin},
-		}
+		p.acts = append(p.acts[:0],
+			SendBeat(CoordinatorID, p.beat(!p.leaving)),
+			SetTimer(TimerJoinResend, p.cfg.TMin),
+		)
+		return p.acts
 	case TimerExpiry:
 		if p.leaving {
 			// A leaving process is never inactivated non-voluntarily;
@@ -193,10 +208,11 @@ func (p *Participant) OnTimer(id TimerID, now Tick) []Action {
 			return nil
 		}
 		p.status = StatusInactive
-		return []Action{
-			CancelTimer{ID: TimerJoinResend},
-			Inactivate{Voluntary: false},
-		}
+		p.acts = append(p.acts[:0],
+			CancelTimer(TimerJoinResend),
+			Inactivate(false),
+		)
+		return p.acts
 	default:
 		return nil
 	}
@@ -214,11 +230,12 @@ func (p *Participant) Leave(now Tick) ([]Action, error) {
 		return nil, nil
 	}
 	p.leaving = true
-	return []Action{
-		SendBeat{To: CoordinatorID, Beat: p.beat(false)},
-		SetTimer{ID: TimerJoinResend, Delay: p.cfg.TMin},
-		CancelTimer{ID: TimerExpiry},
-	}, nil
+	p.acts = append(p.acts[:0],
+		SendBeat(CoordinatorID, p.beat(false)),
+		SetTimer(TimerJoinResend, p.cfg.TMin),
+		CancelTimer(TimerExpiry),
+	)
+	return p.acts, nil
 }
 
 // Rejoin re-enters the protocol after a completed leave (the rejoin
@@ -239,11 +256,12 @@ func (p *Participant) Rejoin(now Tick) ([]Action, error) {
 	p.status = StatusActive
 	p.joined = false
 	p.leaving = false
-	return []Action{
-		SendBeat{To: CoordinatorID, Beat: p.beat(true)},
-		SetTimer{ID: TimerJoinResend, Delay: p.cfg.TMin},
-		SetTimer{ID: TimerExpiry, Delay: p.cfg.JoinerBound()},
-	}, nil
+	p.acts = append(p.acts[:0],
+		SendBeat(CoordinatorID, p.beat(true)),
+		SetTimer(TimerJoinResend, p.cfg.TMin),
+		SetTimer(TimerExpiry, p.cfg.JoinerBound()),
+	)
+	return p.acts, nil
 }
 
 // Crash implements Machine.
@@ -252,9 +270,10 @@ func (p *Participant) Crash(now Tick) []Action {
 		return nil
 	}
 	p.status = StatusCrashed
-	return []Action{
-		CancelTimer{ID: TimerJoinResend},
-		CancelTimer{ID: TimerExpiry},
-		Inactivate{Voluntary: true},
-	}
+	p.acts = append(p.acts[:0],
+		CancelTimer(TimerJoinResend),
+		CancelTimer(TimerExpiry),
+		Inactivate(true),
+	)
+	return p.acts
 }

@@ -24,17 +24,17 @@ func TestResponderRepliesImmediately(t *testing.T) {
 	cfg := Config{TMin: 1, TMax: 10}
 	r := newResponder(t, cfg)
 	start := r.Start(0)
-	timers := actionsOf[SetTimer](start)
+	timers := actionsOf(start, ActSetTimer)
 	if len(timers) != 1 || timers[0].ID != TimerExpiry || timers[0].Delay != cfg.ResponderBound() {
 		t.Fatalf("start = %v, want expiry@%d", start, cfg.ResponderBound())
 	}
 	acts := r.OnBeat(Beat{From: 0, Stay: true}, 5)
-	beats := actionsOf[SendBeat](acts)
+	beats := actionsOf(acts, ActSendBeat)
 	if len(beats) != 1 || beats[0].To != CoordinatorID || beats[0].Beat.From != 1 {
 		t.Fatalf("reply = %v", beats)
 	}
 	// The watchdog is pushed out by each beat.
-	timers = actionsOf[SetTimer](acts)
+	timers = actionsOf(acts, ActSetTimer)
 	if len(timers) != 1 || timers[0].ID != TimerExpiry || timers[0].Delay != cfg.ResponderBound() {
 		t.Fatalf("watchdog rearm = %v", timers)
 	}
@@ -45,7 +45,7 @@ func TestResponderExpiryInactivates(t *testing.T) {
 	r := newResponder(t, cfg)
 	r.Start(0)
 	acts := r.OnTimer(TimerExpiry, cfg.ResponderBound())
-	inact := actionsOf[Inactivate](acts)
+	inact := actionsOf(acts, ActInactivate)
 	if len(inact) != 1 || inact[0].Voluntary {
 		t.Fatalf("expiry = %v, want non-voluntary inactivation", acts)
 	}
@@ -71,7 +71,7 @@ func TestResponderCrash(t *testing.T) {
 	r := newResponder(t, Config{TMin: 1, TMax: 10})
 	r.Start(0)
 	acts := r.Crash(3)
-	if !hasAction[CancelTimer](acts) {
+	if !hasAction(acts, ActCancelTimer) {
 		t.Fatal("crash must cancel the watchdog")
 	}
 	if r.Status() != StatusCrashed {
@@ -85,7 +85,7 @@ func TestResponderCrash(t *testing.T) {
 func TestFixedResponderUsesTighterBound(t *testing.T) {
 	cfg := Config{TMin: 1, TMax: 10, Fixed: true}
 	r := newResponder(t, cfg)
-	timers := actionsOf[SetTimer](r.Start(0))
+	timers := actionsOf(r.Start(0), ActSetTimer)
 	if timers[0].Delay != 20 {
 		t.Fatalf("fixed watchdog = %d, want 2·tmax = 20", timers[0].Delay)
 	}
@@ -104,7 +104,7 @@ func TestParticipantSolicitsUntilJoined(t *testing.T) {
 	cfg := Config{TMin: 2, TMax: 10}
 	p := newParticipant(t, cfg, false)
 	start := p.Start(0)
-	beats := actionsOf[SendBeat](start)
+	beats := actionsOf(start, ActSendBeat)
 	if len(beats) != 1 || beats[0].To != CoordinatorID || !beats[0].Beat.Stay {
 		t.Fatalf("initial solicitation = %v", start)
 	}
@@ -112,7 +112,7 @@ func TestParticipantSolicitsUntilJoined(t *testing.T) {
 		TimerJoinResend: cfg.TMin,
 		TimerExpiry:     cfg.JoinerBound(),
 	}
-	for _, st := range actionsOf[SetTimer](start) {
+	for _, st := range actionsOf(start, ActSetTimer) {
 		if wantDelays[st.ID] != st.Delay {
 			t.Fatalf("timer %v delay = %d, want %d", st.ID, st.Delay, wantDelays[st.ID])
 		}
@@ -123,7 +123,7 @@ func TestParticipantSolicitsUntilJoined(t *testing.T) {
 	}
 	// Resolicit every tmin while unjoined.
 	acts := p.OnTimer(TimerJoinResend, 2)
-	if !hasAction[SendBeat](acts) || !hasAction[SetTimer](acts) {
+	if !hasAction(acts, ActSendBeat) || !hasAction(acts, ActSetTimer) {
 		t.Fatalf("resend = %v", acts)
 	}
 	if p.JoinedProtocol() {
@@ -131,13 +131,13 @@ func TestParticipantSolicitsUntilJoined(t *testing.T) {
 	}
 	// p[0]'s first beat acknowledges the join.
 	acts = p.OnBeat(Beat{From: 0, Stay: true}, 11)
-	if !hasAction[Joined](acts) {
+	if !hasAction(acts, ActJoined) {
 		t.Fatalf("join ack missing: %v", acts)
 	}
 	if !p.JoinedProtocol() {
 		t.Fatal("JoinedProtocol() = false after ack")
 	}
-	replies := actionsOf[SendBeat](acts)
+	replies := actionsOf(acts, ActSendBeat)
 	if len(replies) != 1 || !replies[0].Beat.Stay {
 		t.Fatalf("joined reply = %v", replies)
 	}
@@ -147,7 +147,7 @@ func TestParticipantSolicitsUntilJoined(t *testing.T) {
 	}
 	// Second beat must not re-announce the join.
 	acts = p.OnBeat(Beat{From: 0, Stay: true}, 15)
-	if hasAction[Joined](acts) {
+	if hasAction(acts, ActJoined) {
 		t.Fatal("duplicate Joined event")
 	}
 }
@@ -157,7 +157,7 @@ func TestParticipantGivesUpAtJoinerBound(t *testing.T) {
 	p := newParticipant(t, cfg, false)
 	p.Start(0)
 	acts := p.OnTimer(TimerExpiry, cfg.JoinerBound())
-	if !hasAction[Inactivate](acts) || p.Status() != StatusInactive {
+	if !hasAction(acts, ActInactivate) || p.Status() != StatusInactive {
 		t.Fatalf("joiner bound expiry: %v, status %v", acts, p.Status())
 	}
 }
@@ -171,14 +171,14 @@ func TestParticipantLeaveHandshake(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Leave: %v", err)
 	}
-	beats := actionsOf[SendBeat](acts)
+	beats := actionsOf(acts, ActSendBeat)
 	if len(beats) != 1 || beats[0].Beat.Stay {
 		t.Fatalf("leave beat = %v", beats)
 	}
 	// A true beat from p[0] (leave not yet processed) is answered with
 	// another false beat.
 	acts = p.OnBeat(Beat{From: 0, Stay: true}, 9)
-	beats = actionsOf[SendBeat](acts)
+	beats = actionsOf(acts, ActSendBeat)
 	if len(beats) != 1 || beats[0].Beat.Stay {
 		t.Fatalf("pre-ack reply = %v", beats)
 	}
@@ -188,7 +188,7 @@ func TestParticipantLeaveHandshake(t *testing.T) {
 	}
 	// The false ack completes the leave.
 	acts = p.OnBeat(Beat{From: 0, Stay: false}, 12)
-	if !hasAction[Left](acts) || p.Status() != StatusLeft {
+	if !hasAction(acts, ActLeft) || p.Status() != StatusLeft {
 		t.Fatalf("leave completion: %v, status %v", acts, p.Status())
 	}
 	// Idempotent afterwards.
@@ -209,11 +209,11 @@ func TestParticipantLeaveRetriesEveryTMin(t *testing.T) {
 		t.Fatalf("Leave: %v", err)
 	}
 	acts := p.OnTimer(TimerJoinResend, 10)
-	beats := actionsOf[SendBeat](acts)
+	beats := actionsOf(acts, ActSendBeat)
 	if len(beats) != 1 || beats[0].Beat.Stay {
 		t.Fatalf("leave retry = %v", acts)
 	}
-	rearm := actionsOf[SetTimer](acts)
+	rearm := actionsOf(acts, ActSetTimer)
 	if len(rearm) != 1 || rearm[0].ID != TimerJoinResend || rearm[0].Delay != cfg.TMin {
 		t.Fatalf("leave retry rearm = %v", acts)
 	}
@@ -231,7 +231,7 @@ func TestParticipantCrash(t *testing.T) {
 	p := newParticipant(t, Config{TMin: 2, TMax: 10}, true)
 	p.Start(0)
 	acts := p.Crash(1)
-	if got := len(actionsOf[CancelTimer](acts)); got != 2 {
+	if got := len(actionsOf(acts, ActCancelTimer)); got != 2 {
 		t.Fatalf("crash cancelled %d timers, want 2", got)
 	}
 	if p.Status() != StatusCrashed {
@@ -264,12 +264,12 @@ func TestPlainProtocolRoundTrip(t *testing.T) {
 	// Two misses tolerated, third suspects.
 	for i := 0; i < 2; i++ {
 		acts := c.OnTimer(TimerRound, Tick(10+5*i))
-		if hasAction[Inactivate](acts) {
+		if hasAction(acts, ActInactivate) {
 			t.Fatalf("suspected after %d misses", i+1)
 		}
 	}
 	acts := c.OnTimer(TimerRound, 20)
-	if !hasAction[Inactivate](acts) || c.Status() != StatusInactive {
+	if !hasAction(acts, ActInactivate) || c.Status() != StatusInactive {
 		t.Fatalf("third miss: %v, status %v", acts, c.Status())
 	}
 }
@@ -324,7 +324,7 @@ func TestPlainResponder(t *testing.T) {
 	}
 	r.Start(0)
 	acts := r.OnBeat(Beat{From: 0, Stay: true}, 5)
-	if !hasAction[SendBeat](acts) {
+	if !hasAction(acts, ActSendBeat) {
 		t.Fatalf("no reply: %v", acts)
 	}
 	r.OnTimer(TimerExpiry, 25)

@@ -179,12 +179,28 @@ type Config struct {
 
 // Node runs one protocol machine. All methods are safe for concurrent use.
 type Node struct {
-	mu        sync.Mutex
-	cfg       Config
-	timers    map[core.TimerID]func() // pending cancels
-	seq       map[core.TimerID]uint64 // generation guard against stale fires
-	started   bool
+	mu      sync.Mutex
+	cfg     Config
+	timers  map[core.TimerID]func() // pending cancels (generic clock path)
+	seq     map[core.TimerID]uint64 // generation guard against stale fires
+	started bool
+	// simc is non-nil when the clock is a plain SimClock; timers then run
+	// on the allocation-free fast path: sim.Timer cancellation is exact
+	// and the simulation is single-threaded, so no generation guards or
+	// per-arm closures are needed.
+	simc      *sim.Simulator
+	simTimers map[core.TimerID]*simTimer
+	buf       []byte // scratch for marshalling outgoing beats
 	recoverFn func(id netem.NodeID, op string, recovered any)
+}
+
+// simTimer is the per-TimerID state of the SimClock fast path. Its
+// closures are built once, on the timer's first arm, and reused for every
+// subsequent (re)arm.
+type simTimer struct {
+	tm   sim.Timer
+	arm  sim.Event // scheduled at the machine's delay
+	fire sim.Event // runs the machine's OnTimer
 }
 
 // ErrNodeConfig reports an invalid node configuration.
@@ -199,6 +215,10 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:    cfg,
 		timers: make(map[core.TimerID]func()),
 		seq:    make(map[core.TimerID]uint64),
+	}
+	if sc, ok := cfg.Clock.(SimClock); ok {
+		n.simc = sc.Sim
+		n.simTimers = make(map[core.TimerID]*simTimer)
 	}
 	if err := cfg.Transport.Register(cfg.ID, n.onMessage); err != nil {
 		return nil, fmt.Errorf("detector: registering node %d: %w", cfg.ID, err)
@@ -255,6 +275,9 @@ func (n *Node) Restart(m core.Machine) error {
 	}
 	for id := range n.seq {
 		n.seq[id]++ // strand any fire already past its cancel
+	}
+	for _, st := range n.simTimers {
+		st.tm.Cancel() // exact: a cancelled sim timer never fires
 	}
 	n.cfg.Machine = m
 	n.started = true
@@ -400,34 +423,96 @@ func (n *Node) fireTimer(id core.TimerID, gen uint64) {
 // apply executes the machine's actions. Callers hold n.mu.
 func (n *Node) apply(actions []core.Action) {
 	now := n.cfg.Clock.Now()
-	for _, a := range actions {
-		switch act := a.(type) {
-		case core.SendBeat:
-			// Ignore send errors: an unknown recipient behaves like a
-			// lossy link, which the protocol already tolerates.
-			_ = n.cfg.Transport.Send(n.cfg.ID, netem.NodeID(act.To), act.Beat.Marshal())
-		case core.SetTimer:
+	for _, act := range actions {
+		switch act.Kind {
+		case core.ActSendBeat:
+			// Marshal into the node's scratch buffer; transports copy the
+			// payload before returning, so the buffer is free for the next
+			// beat. Ignore send errors: an unknown recipient behaves like
+			// a lossy link, which the protocol already tolerates.
+			n.buf = act.Beat.AppendMarshal(n.buf[:0])
+			_ = n.cfg.Transport.Send(n.cfg.ID, netem.NodeID(act.To), n.buf)
+		case core.ActSetTimer:
+			if n.simc != nil {
+				n.setSimTimer(act.ID, act.Delay)
+				continue
+			}
 			if cancel, ok := n.timers[act.ID]; ok {
 				cancel()
 			}
 			n.seq[act.ID]++
 			gen := n.seq[act.ID]
-			n.timers[act.ID] = n.cfg.Clock.After(act.Delay, func() { n.onTimer(act.ID, gen) })
-		case core.CancelTimer:
+			id := act.ID
+			n.timers[id] = n.cfg.Clock.After(act.Delay, func() { n.onTimer(id, gen) })
+		case core.ActCancelTimer:
+			if n.simc != nil {
+				if st, ok := n.simTimers[act.ID]; ok {
+					st.tm.Cancel()
+				}
+				continue
+			}
 			if cancel, ok := n.timers[act.ID]; ok {
 				cancel()
 				delete(n.timers, act.ID)
 			}
 			n.seq[act.ID]++
-		case core.Inactivate:
+		case core.ActInactivate:
 			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventInactivated, Voluntary: act.Voluntary})
-		case core.Suspect:
+		case core.ActSuspect:
 			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventSuspect, Proc: act.Proc})
-		case core.Joined:
+		case core.ActJoined:
 			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventJoined})
-		case core.Left:
+		case core.ActLeft:
 			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventLeft})
 		}
+	}
+}
+
+// setSimTimer (re)arms a timer on the SimClock fast path. The simTimer's
+// closures are created once per TimerID; steady-state rearms allocate
+// nothing. Callers hold n.mu; the simulation itself is single-threaded,
+// so the closures may touch st without the lock.
+func (n *Node) setSimTimer(id core.TimerID, d core.Tick) {
+	st, ok := n.simTimers[id]
+	if !ok {
+		st = &simTimer{}
+		st.fire = func() { n.fireSimTimer(id) }
+		if n.cfg.ReceivePriority {
+			// §6.1: when the delay elapses, take one zero-delay hop
+			// through the scheduler so same-instant deliveries already
+			// queued run first. A SetTimer or CancelTimer landing during
+			// the hop cancels it through st.tm as usual.
+			st.arm = func() {
+				tm, err := n.simc.Schedule(0, st.fire)
+				if err != nil {
+					panic(fmt.Sprintf("detector: scheduling timer hop: %v", err))
+				}
+				st.tm = tm
+			}
+		} else {
+			st.arm = st.fire
+		}
+		n.simTimers[id] = st
+	}
+	st.tm.Cancel() // no-op unless a previous arm is still pending
+	tm, err := n.simc.Schedule(sim.Time(d), st.arm)
+	if err != nil {
+		panic(fmt.Sprintf("detector: scheduling timer: %v", err))
+	}
+	st.tm = tm
+}
+
+// fireSimTimer delivers a timer expiry to the machine on the SimClock
+// fast path.
+func (n *Node) fireSimTimer(id core.TimerID) {
+	n.mu.Lock()
+	rec := n.runGuarded(Trigger{Kind: TriggerTimer, Timer: id}, func() []core.Action {
+		return n.cfg.Machine.OnTimer(id, n.cfg.Clock.Now())
+	})
+	h := n.recoverFn
+	n.mu.Unlock()
+	if rec != nil {
+		h(n.cfg.ID, "timer", rec)
 	}
 }
 

@@ -218,7 +218,8 @@ func (f *FaultableTransport) Send(from, to netem.NodeID, payload []byte) error {
 		copies = 2
 		f.stats.Duplicated++
 	}
-	delays := make([]sim.Time, copies)
+	var delayBuf [2]sim.Time
+	delays := delayBuf[:copies]
 	for i := range delays {
 		if f.reorderProb > 0 && f.rng.Float64() < f.reorderProb {
 			delays[i] = 1 + sim.Time(f.rng.Int63n(int64(f.reorderMax)))

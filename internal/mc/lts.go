@@ -54,34 +54,14 @@ func (l *LTS) internLabels() {
 }
 
 // BuildLTS generates the full reachable transition system of a network.
+// Transitions come out in (source id, successor enumeration) order, which
+// is identical at any Options.Workers value.
 func BuildLTS(n *ta.Network, opts Options) (*LTS, error) {
-	limit := opts.maxStates()
-	init := n.Initial()
-	st := newStateStore(minTableSize)
-	key := init.AppendKey(make([]byte, 0, init.KeyLen()))
-	st.intern(key)
-	l := &LTS{NumStates: 1}
-
-	scratch := init.Clone()
-	numLocs, numClocks := len(init.Locs), len(init.Clocks)
-	var buf []ta.Transition
-	for head := 0; head < st.len(); head++ {
-		scratch.DecodeKey(st.key(head), numLocs, numClocks)
-		buf = n.Successors(&scratch, buf[:0])
-		for i := range buf {
-			tr := &buf[i]
-			key = tr.Target.AppendKey(key[:0])
-			id, added := st.intern(key)
-			if added {
-				if id >= limit {
-					return nil, fmt.Errorf("%w: %d states", ErrStateLimit, limit)
-				}
-				l.NumStates++
-			}
-			l.Transitions = append(l.Transitions, Trans{From: head, Label: tr.Label, To: id})
-		}
+	e, _, states, _, err := explore(n, nil, nil, opts.maxStates(), opts.numWorkers(), true)
+	if err != nil {
+		return nil, err
 	}
-	return l, nil
+	return &LTS{NumStates: states, Transitions: e.mergeTrans()}, nil
 }
 
 // Hide renames every transition whose label satisfies hidden to Tau. The

@@ -10,7 +10,6 @@ package mc
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/ta"
 )
@@ -29,6 +28,13 @@ type Options struct {
 	// through a pruned state — e.g. pruning on a monotone flag the goal
 	// negates.
 	Prune func(*ta.State) bool
+	// Workers is the number of goroutines exploring inside a single
+	// check; 0 or 1 means sequential. Every result — state and transition
+	// counts, counter-example trace, LTS — is identical at any worker
+	// count. When Workers > 1, the goal predicate and Prune are called
+	// concurrently from multiple goroutines and must be pure functions of
+	// the state they receive.
+	Workers int
 }
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
@@ -39,6 +45,13 @@ func (o Options) maxStates() int {
 		return DefaultMaxStates
 	}
 	return o.MaxStates
+}
+
+func (o Options) numWorkers() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Step is one transition of a witness trace.
@@ -70,54 +83,21 @@ type Result struct {
 // CheckReachability explores the network breadth-first from its initial
 // configuration and reports whether any configuration satisfying goal is
 // reachable, together with a shortest witness.
+//
+// The check completes the BFS level a goal state is found on before
+// returning, and the witness is the first goal state in sequential
+// discovery order — shortest, and lexicographically least with respect to
+// the network's deterministic successor enumeration order — so counts and
+// trace are identical at any Options.Workers value.
 func CheckReachability(n *ta.Network, goal func(*ta.State) bool, opts Options) (Result, error) {
-	limit := opts.maxStates()
-	init := n.Initial()
-
-	st := newStateStore(minTableSize)
-	key := init.AppendKey(make([]byte, 0, init.KeyLen()))
-	st.intern(key)
-	info := []nodeInfo{{parent: -1}}
-
-	res := Result{StatesExplored: 1}
-	if goal(&init) {
+	e, goalID, states, transitions, err := explore(n, goal, opts.Prune, opts.maxStates(), opts.numWorkers(), false)
+	res := Result{StatesExplored: states, TransitionsExplored: transitions}
+	if goalID >= 0 {
 		res.Reachable = true
-		res.Trace = []Step{{State: init.Clone()}}
+		res.Trace = rebuildTrace(e, goalID)
 		return res, nil
 	}
-
-	// The store's arena is the only copy of every configuration; states are
-	// decoded back out into one reused scratch state for expansion.
-	scratch := init.Clone()
-	numLocs, numClocks := len(init.Locs), len(init.Clocks)
-	var buf []ta.Transition
-	for head := 0; head < st.len(); head++ {
-		scratch.DecodeKey(st.key(head), numLocs, numClocks)
-		if opts.Prune != nil && opts.Prune(&scratch) {
-			continue
-		}
-		buf = n.Successors(&scratch, buf[:0])
-		res.TransitionsExplored += len(buf)
-		for i := range buf {
-			tr := &buf[i]
-			key = tr.Target.AppendKey(key[:0])
-			id, added := st.intern(key)
-			if !added {
-				continue
-			}
-			if id >= limit {
-				return res, fmt.Errorf("%w: %d states", ErrStateLimit, limit)
-			}
-			info = append(info, nodeInfo{parent: head, label: tr.Label, delay: tr.Delay})
-			res.StatesExplored++
-			if goal(&tr.Target) {
-				res.Reachable = true
-				res.Trace = rebuildTrace(st, numLocs, numClocks, info, id)
-				return res, nil
-			}
-		}
-	}
-	return res, nil
+	return res, err
 }
 
 // nodeInfo records how a state was first reached, for witness
@@ -130,24 +110,24 @@ type nodeInfo struct {
 
 // rebuildTrace walks parent pointers back to the root and emits the
 // forward trace with cumulative times, decoding each witness state out of
-// the packed store.
-func rebuildTrace(st *stateStore, numLocs, numClocks int, info []nodeInfo, goal int) []Step {
+// the sharded store.
+func rebuildTrace(e *explorer, goal int) []Step {
 	var rev []int
-	for at := goal; at != -1; at = info[at].parent {
+	for at := goal; at != -1; at = e.info[at].parent {
 		rev = append(rev, at)
 	}
 	steps := make([]Step, 0, len(rev))
 	now := 0
 	for i := len(rev) - 1; i >= 0; i-- {
 		id := rev[i]
-		if info[id].delay {
+		if e.info[id].delay {
 			now++
 		}
 		var s ta.State
-		s.DecodeKey(st.key(id), numLocs, numClocks)
+		s.DecodeKey(e.key(id), e.numLocs, e.numClocks)
 		steps = append(steps, Step{
-			Label: info[id].label,
-			Delay: info[id].delay,
+			Label: e.info[id].label,
+			Delay: e.info[id].delay,
 			Time:  now,
 			State: s,
 		})
@@ -165,6 +145,6 @@ func Invariant(n *ta.Network, pred func(*ta.State) bool, opts Options) (Result, 
 // CountStates exhaustively generates the reachable state space and returns
 // its size; useful for regression-pinning model sizes.
 func CountStates(n *ta.Network, opts Options) (states, transitions int, err error) {
-	res, err := CheckReachability(n, func(*ta.State) bool { return false }, opts)
-	return res.StatesExplored, res.TransitionsExplored, err
+	_, _, states, transitions, err = explore(n, nil, opts.Prune, opts.maxStates(), opts.numWorkers(), false)
+	return states, transitions, err
 }

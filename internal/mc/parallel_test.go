@@ -1,0 +1,91 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ta"
+)
+
+// stepRepr renders one trace in full for byte-identity comparison.
+func stepRepr(steps []Step) string {
+	out := ""
+	for _, s := range steps {
+		out += fmt.Sprintf("%q %v %d %x\n", s.Label, s.Delay, s.Time, s.State.AppendKey(nil))
+	}
+	return out
+}
+
+// TestParallelReachabilityDeterminism runs the toy counter model at
+// several worker counts and demands identical counts and a byte-identical
+// canonical trace.
+func TestParallelReachabilityDeterminism(t *testing.T) {
+	net, v := counterNet(6)
+	goal := func(s *ta.State) bool { return s.Vars[v] == 3 }
+	base, err := CheckReachability(net, goal, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Reachable {
+		t.Fatal("goal unreachable at workers=1")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		net, _ := counterNet(6)
+		res, err := CheckReachability(net, goal, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Reachable != base.Reachable ||
+			res.StatesExplored != base.StatesExplored ||
+			res.TransitionsExplored != base.TransitionsExplored {
+			t.Errorf("workers=%d: %+v; workers=1: %+v", workers, res, base)
+		}
+		if got, want := stepRepr(res.Trace), stepRepr(base.Trace); got != want {
+			t.Errorf("workers=%d trace:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestParallelStateLimitDeterminism pins that hitting MaxStates yields
+// the same error and the same (level-complete) statistics at any worker
+// count.
+func TestParallelStateLimitDeterminism(t *testing.T) {
+	goal := func(*ta.State) bool { return false }
+	baseNet, _ := counterNet(100)
+	base, baseErr := CheckReachability(baseNet, goal, Options{MaxStates: 10, Workers: 1})
+	if !errors.Is(baseErr, ErrStateLimit) {
+		t.Fatalf("workers=1 error = %v, want ErrStateLimit", baseErr)
+	}
+	for _, workers := range []int{2, 8} {
+		net, _ := counterNet(100)
+		res, err := CheckReachability(net, goal, Options{MaxStates: 10, Workers: workers})
+		if !errors.Is(err, ErrStateLimit) {
+			t.Fatalf("workers=%d error = %v, want ErrStateLimit", workers, err)
+		}
+		if res.StatesExplored != base.StatesExplored ||
+			res.TransitionsExplored != base.TransitionsExplored {
+			t.Errorf("workers=%d: %+v; workers=1: %+v", workers, res, base)
+		}
+	}
+}
+
+// TestParallelCountStates cross-checks CountStates at several worker
+// counts on the toy model.
+func TestParallelCountStates(t *testing.T) {
+	net1, _ := counterNet(9)
+	s1, t1, err := CountStates(net1, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		net, _ := counterNet(9)
+		s, tr, err := CountStates(net, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if s != s1 || tr != t1 {
+			t.Errorf("workers=%d: %d states %d transitions; workers=1: %d %d", workers, s, tr, s1, t1)
+		}
+	}
+}

@@ -46,7 +46,32 @@ func (st *stateStore) key(id int) []byte {
 // before, otherwise a fresh id (added true) with the bytes appended to the
 // arena. key itself is never retained.
 func (st *stateStore) intern(key []byte) (id int, added bool) {
-	h := hashKey(key)
+	return st.internHashed(key, hashKey(key))
+}
+
+// lookupHashed probes for key (with its precomputed hash) without
+// inserting. It never mutates the store, so concurrent lookups are safe;
+// lookups concurrent with interns are not.
+func (st *stateStore) lookupHashed(key []byte, h uint64) (id int, ok bool) {
+	mask := uint64(len(st.table) - 1)
+	i := h & mask
+	for {
+		slot := st.table[i]
+		if slot == 0 {
+			return 0, false
+		}
+		cand := int(slot - 1)
+		if st.hashes[cand] == h && string(st.key(cand)) == string(key) {
+			return cand, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// internHashed is intern with the key's hash precomputed by the caller
+// (the parallel explorer hashes once to pick a shard, then interns into
+// that shard's store with the same hash).
+func (st *stateStore) internHashed(key []byte, h uint64) (id int, added bool) {
 	mask := uint64(len(st.table) - 1)
 	i := h & mask
 	for {

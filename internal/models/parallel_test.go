@@ -1,0 +1,104 @@
+package models
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mc"
+)
+
+// traceRepr renders a witness trace in full — labels, delay flags, times,
+// and the packed state encodings — so two traces compare byte-identical
+// or not at all.
+func traceRepr(steps []mc.Step) string {
+	out := ""
+	for _, s := range steps {
+		out += fmt.Sprintf("%q %v %d %x\n", s.Label, s.Delay, s.Time, s.State.AppendKey(nil))
+	}
+	return out
+}
+
+// TestParallelCheckDeterminism pins the tentpole guarantee of the
+// parallel checker: for every variant, reachability results — state and
+// transition counts, verdict, and the canonical counter-example trace —
+// are identical at any worker count. R1 on the unfixed models is
+// violated, so the trace path is exercised, not just the counts.
+func TestParallelCheckDeterminism(t *testing.T) {
+	cases := []struct {
+		variant Variant
+		n       int
+	}{
+		{Binary, 1},
+		{RevisedBinary, 1},
+		{TwoPhase, 1},
+		{Static, 2},
+		{Expanding, 1},
+		{Dynamic, 1},
+	}
+	anyReachable := false
+	for _, tc := range cases {
+		if testing.Short() && tc.variant == Static {
+			continue // three full 600k-state sweeps; minutes under -race
+		}
+		t.Run(fmt.Sprintf("%v", tc.variant), func(t *testing.T) {
+			cfg := Config{TMin: 2, TMax: 4, Variant: tc.variant, N: tc.n}
+			var base Verdict
+			for _, workers := range []int{1, 2, 8} {
+				v, err := Verify(cfg, R1, mc.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("Verify(R1, workers=%d): %v", workers, err)
+				}
+				if workers == 1 {
+					base = v
+					if v.Result.Reachable {
+						anyReachable = true
+					}
+					continue
+				}
+				if v.Satisfied != base.Satisfied ||
+					v.Result.StatesExplored != base.Result.StatesExplored ||
+					v.Result.TransitionsExplored != base.Result.TransitionsExplored {
+					t.Errorf("workers=%d: satisfied=%v states=%d transitions=%d; workers=1: %v %d %d",
+						workers, v.Satisfied, v.Result.StatesExplored, v.Result.TransitionsExplored,
+						base.Satisfied, base.Result.StatesExplored, base.Result.TransitionsExplored)
+				}
+				if got, want := traceRepr(v.Result.Trace), traceRepr(base.Result.Trace); got != want {
+					t.Errorf("workers=%d trace diverged from workers=1:\n%s\nvs\n%s", workers, got, want)
+				}
+			}
+		})
+	}
+	if !anyReachable {
+		t.Error("no variant produced a counter-example; trace determinism was not exercised")
+	}
+}
+
+// TestParallelLTSDeterminism pins that BuildLTS emits the byte-identical
+// transition system at any worker count — the conformance layer's CSR
+// construction depends on the exact transition order.
+func TestParallelLTSDeterminism(t *testing.T) {
+	m, err := Build(Config{TMin: 2, TMax: 4, Variant: Binary, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mc.BuildLTS(m.Net, mc.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		l, err := mc.BuildLTS(m.Net, mc.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("BuildLTS(workers=%d): %v", workers, err)
+		}
+		if l.NumStates != base.NumStates || len(l.Transitions) != len(base.Transitions) {
+			t.Fatalf("workers=%d: %d states %d transitions; workers=1: %d %d",
+				workers, l.NumStates, len(l.Transitions), base.NumStates, len(base.Transitions))
+		}
+		for i := range l.Transitions {
+			if l.Transitions[i] != base.Transitions[i] {
+				t.Fatalf("workers=%d: transition %d = %+v, workers=1 has %+v",
+					workers, i, l.Transitions[i], base.Transitions[i])
+			}
+		}
+	}
+}

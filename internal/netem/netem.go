@@ -25,7 +25,9 @@ import (
 // processes p[0..n]; NodeID follows that convention.
 type NodeID int
 
-// Message is a delivered datagram.
+// Message is a delivered datagram. Payload is owned by the transport and
+// is valid only for the duration of the handler call; handlers that need
+// to retain it must copy.
 type Message struct {
 	From    NodeID
 	To      NodeID
@@ -34,7 +36,7 @@ type Message struct {
 
 // Handler receives delivered messages. Handlers run on the delivering
 // goroutine (RealNetwork) or inside the simulation event (Network) and must
-// not block.
+// not block. The message's Payload must not be retained past the call.
 type Handler func(Message)
 
 // Transport is the sending half shared by simulated and real networks.
@@ -111,6 +113,38 @@ type Network struct {
 	links    map[[2]NodeID]LinkConfig
 	def      LinkConfig
 	stats    Stats
+	// pool recycles delivery records so the send hot path does not
+	// allocate: each record carries a reusable payload buffer and a
+	// pre-built scheduling closure.
+	pool []*delivery
+}
+
+// delivery is a pooled in-flight message.
+type delivery struct {
+	net *Network
+	h   Handler
+	msg Message
+	fn  sim.Event
+}
+
+// newDelivery draws a record from the pool, creating one (with its
+// scheduling closure) only when the pool is empty.
+func (n *Network) newDelivery() *delivery {
+	if ln := len(n.pool); ln > 0 {
+		d := n.pool[ln-1]
+		n.pool = n.pool[:ln-1]
+		return d
+	}
+	d := &delivery{net: n}
+	d.fn = func() {
+		// Release only after the handler returns: the payload stays valid
+		// for the whole handler call, and a re-entrant Send inside the
+		// handler draws a different record from the pool.
+		d.h(d.msg)
+		d.h = nil
+		d.net.pool = append(d.net.pool, d)
+	}
+	return d
 }
 
 var _ Transport = (*Network)(nil)
@@ -204,16 +238,20 @@ func (n *Network) Send(from, to NodeID, payload []byte) error {
 		st.Duplicated++
 		n.stats.Total.Duplicated++
 	}
-	// Copy once; handlers must not mutate the payload (messages are
-	// immutable datagrams), so copies may share it.
-	data := append([]byte(nil), payload...)
-	msg := Message{From: from, To: to, Payload: data}
 	for i := 0; i < copies; i++ {
 		delay := cfg.MinDelay
 		if cfg.MaxDelay > cfg.MinDelay {
 			delay += sim.Time(n.rng.Int63n(int64(cfg.MaxDelay-cfg.MinDelay) + 1))
 		}
-		if _, err := n.simr.Schedule(delay, func() { h(msg) }); err != nil {
+		// Each copy gets its own pooled record; the payload is copied into
+		// the record's reusable buffer, so the caller may reuse payload as
+		// soon as Send returns.
+		d := n.newDelivery()
+		d.h = h
+		d.msg = Message{From: from, To: to, Payload: append(d.msg.Payload[:0], payload...)}
+		if _, err := n.simr.Schedule(delay, d.fn); err != nil {
+			d.h = nil
+			n.pool = append(n.pool, d)
 			return fmt.Errorf("netem: scheduling delivery: %w", err)
 		}
 		st.Delivered++

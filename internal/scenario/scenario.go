@@ -10,6 +10,8 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/conform"
 	"repro/internal/core"
@@ -228,6 +230,11 @@ type CampaignConfig struct {
 	// model-expressible Schedule (conform.CheckSchedule) and Heal == nil —
 	// supervisor restarts have no model counterpart.
 	Conform *conform.CampaignCheck
+	// Workers is the number of concurrent trials; values below 2 run on
+	// the calling goroutine. Each trial owns its simulator and cluster and
+	// derives its seed from Seed and the trial index alone, so the result
+	// is identical at any worker count.
+	Workers int
 }
 
 // CampaignResult summarises a fault campaign.
@@ -278,8 +285,17 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 			return nil, err
 		}
 	}
-	out := &CampaignResult{}
-	for trial := 0; trial < cfg.Trials; trial++ {
+	type trialOutcome struct {
+		survived    bool
+		hasRestarts bool
+		restarts    float64
+		events      float64
+		faults      faults.Stats
+		schedErrs   int
+		div         *conform.Divergence
+		err         error
+	}
+	runTrial := func(trial int) trialOutcome {
 		cc := cfg.Cluster
 		cc.Seed = cfg.Seed + int64(trial)
 		// Vary the fault layer across trials while keeping the campaign
@@ -299,36 +315,82 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		}
 		c, err := detector.NewCluster(cc)
 		if err != nil {
-			return nil, err
+			return trialOutcome{err: err}
 		}
 		if err := c.Start(); err != nil {
-			return nil, err
+			return trialOutcome{err: err}
 		}
 		c.Sim.RunUntil(cfg.Horizon)
 		c.Stop()
+		var o trialOutcome
 		if rec != nil {
-			if d := spec.CheckTrace(rec.Events(), core.Tick(cfg.Horizon)); d != nil {
-				out.Divergences = append(out.Divergences, d)
-			}
+			o.div = spec.CheckTrace(rec.Events(), core.Tick(cfg.Horizon))
 		}
-		out.Survived.Observe(c.Coordinator.Status() == core.StatusActive)
+		o.survived = c.Coordinator.Status() == core.StatusActive
 		if c.Supervisor != nil {
 			restarts := c.Supervisor.Restarts(c.Coordinator.ID())
 			for _, n := range c.Participants {
 				restarts += c.Supervisor.Restarts(n.ID())
 			}
-			out.Restarts.Add(float64(restarts))
+			o.hasRestarts, o.restarts = true, float64(restarts)
 		}
-		out.Events.Add(float64(len(c.Events)))
-		st := c.Faults.Stats()
-		out.Faults.Intercepted += st.Intercepted
-		out.Faults.DroppedMuted += st.DroppedMuted
-		out.Faults.DroppedPartition += st.DroppedPartition
-		out.Faults.DroppedLoss += st.DroppedLoss
-		out.Faults.Duplicated += st.Duplicated
-		out.Faults.Delayed += st.Delayed
-		out.Faults.SendErrors += st.SendErrors
-		out.ScheduleErrors += len(c.FaultErrors())
+		o.events = float64(len(c.Events))
+		o.faults = c.Faults.Stats()
+		o.schedErrs = len(c.FaultErrors())
+		return o
+	}
+
+	outs := make([]trialOutcome, cfg.Trials)
+	if workers := min(cfg.Workers, cfg.Trials); workers > 1 {
+		// Workers claim trial indices from an atomic counter and write to
+		// per-trial slots; aggregation below runs in trial order, so the
+		// result is independent of claim interleaving.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					trial := int(next.Add(1)) - 1
+					if trial >= cfg.Trials {
+						return
+					}
+					outs[trial] = runTrial(trial)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			outs[trial] = runTrial(trial)
+			if outs[trial].err != nil {
+				break // aggregation below stops at this trial
+			}
+		}
+	}
+
+	out := &CampaignResult{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.div != nil {
+			out.Divergences = append(out.Divergences, o.div)
+		}
+		out.Survived.Observe(o.survived)
+		if o.hasRestarts {
+			out.Restarts.Add(o.restarts)
+		}
+		out.Events.Add(o.events)
+		out.Faults.Intercepted += o.faults.Intercepted
+		out.Faults.DroppedMuted += o.faults.DroppedMuted
+		out.Faults.DroppedPartition += o.faults.DroppedPartition
+		out.Faults.DroppedLoss += o.faults.DroppedLoss
+		out.Faults.Duplicated += o.faults.Duplicated
+		out.Faults.Delayed += o.faults.Delayed
+		out.Faults.SendErrors += o.faults.SendErrors
+		out.ScheduleErrors += o.schedErrs
 	}
 	return out, nil
 }

@@ -256,6 +256,47 @@ func TestRunCampaignSelfHealing(t *testing.T) {
 	}
 }
 
+// TestCampaignWorkersDeterminism pins the parallel-trials contract: a
+// campaign aggregates to the same result at any worker count, because
+// each trial is seeded independently and outcomes are folded in trial
+// order.
+func TestCampaignWorkersDeterminism(t *testing.T) {
+	sched := &faults.Schedule{Events: []faults.Event{
+		{At: 50, Kind: faults.KindCrash, Node: 1},
+	}}
+	base := CampaignConfig{
+		Cluster: detector.ClusterConfig{
+			Protocol: detector.ProtocolStatic,
+			Core:     core.Config{TMin: 2, TMax: 16},
+			N:        2,
+		},
+		Schedule: sched,
+		Horizon:  400,
+		Trials:   8,
+		Seed:     11,
+		Workers:  1,
+	}
+	want, err := RunCampaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Survived != want.Survived ||
+			got.Events.N() != want.Events.N() || got.Events.Sum() != want.Events.Sum() ||
+			got.Faults != want.Faults ||
+			got.ScheduleErrors != want.ScheduleErrors ||
+			len(got.Divergences) != len(want.Divergences) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
 func TestRunCampaignValidation(t *testing.T) {
 	if _, err := RunCampaign(CampaignConfig{Cluster: binaryCluster(), Horizon: 10, Trials: 1}); err == nil {
 		t.Fatal("campaign without a schedule accepted")

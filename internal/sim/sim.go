@@ -6,13 +6,18 @@
 // lets protocol code express the "simultaneous events" races that the
 // accelerated heartbeat analysis exercises.
 //
+// The hot path is allocation-free: timers live in a pooled node arena
+// recycled through a free list, handles are plain values guarded by
+// generation counters, and the event queue is an indexed 4-ary heap of
+// node indices — no per-event allocation, no interface boxing, and exact
+// (eager) removal on Cancel.
+//
 // A Simulator is not safe for concurrent use; it is single-threaded by
 // design so that every run with the same seed and the same scheduling
 // sequence produces the same trace.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -30,37 +35,67 @@ var ErrPastTime = errors.New("sim: schedule time is in the past")
 // Event is a callback executed when its scheduled time is reached.
 type Event func()
 
-// Timer is a handle to a scheduled event. Its zero value is not useful;
-// timers are created by Simulator.Schedule and Simulator.ScheduleAt.
-type Timer struct {
-	at        Time
-	seq       uint64
-	fn        Event
-	index     int // heap index; -1 when not queued
-	cancelled bool
+// timerNode is a pooled event record. Nodes are recycled through the
+// simulator's free list; gen distinguishes the current incarnation from
+// stale Timer handles.
+type timerNode struct {
+	at      Time
+	seq     uint64
+	fn      Event
+	heapIdx int32 // position in the heap; -1 when not queued
+	gen     uint32
 }
 
-// At reports the virtual time the timer fires at.
-func (t *Timer) At() Time { return t.at }
+// Timer is a value handle to a scheduled event. Its zero value is inert;
+// timers are created by Simulator.Schedule and Simulator.ScheduleAt. A
+// handle survives its event: once the event fires or is cancelled the
+// underlying node is recycled and the handle's generation goes stale, so
+// Cancel and Active on an old handle are safe no-ops.
+type Timer struct {
+	s   *Simulator
+	idx int32
+	gen uint32
+}
 
-// Cancelled reports whether Cancel was called before the timer fired.
-func (t *Timer) Cancelled() bool { return t.cancelled }
+// Active reports whether the timer is still pending — scheduled, and
+// neither fired nor cancelled.
+func (t Timer) Active() bool {
+	return t.s != nil && t.s.nodes[t.idx].gen == t.gen
+}
 
-// Cancel prevents the timer's event from running. Cancelling an already
-// fired or already cancelled timer is a no-op. It reports whether the
-// cancellation prevented a pending event.
-func (t *Timer) Cancel() bool {
-	if t.cancelled || t.index < 0 {
+// At reports the virtual time a pending timer fires at; 0 once the timer
+// has fired or been cancelled.
+func (t Timer) At() Time {
+	if !t.Active() {
+		return 0
+	}
+	return t.s.nodes[t.idx].at
+}
+
+// Cancel prevents the timer's event from running, removing it from the
+// event queue immediately. Cancelling an already fired or already
+// cancelled timer is a no-op. It reports whether the cancellation
+// prevented a pending event.
+func (t Timer) Cancel() bool {
+	s := t.s
+	if s == nil {
 		return false
 	}
-	t.cancelled = true
+	nd := &s.nodes[t.idx]
+	if nd.gen != t.gen || nd.heapIdx < 0 {
+		return false
+	}
+	s.heapRemove(int(nd.heapIdx))
+	s.release(t.idx)
 	return true
 }
 
 // Simulator owns a virtual clock and an event queue.
 type Simulator struct {
 	now       Time
-	queue     eventQueue
+	nodes     []timerNode
+	free      []int32
+	heap      []int32
 	seq       uint64
 	rng       *rand.Rand
 	executed  uint64
@@ -97,50 +132,70 @@ func (s *Simulator) EventsExecuted() uint64 { return s.executed }
 // EventsScheduled returns the number of events scheduled so far.
 func (s *Simulator) EventsScheduled() uint64 { return s.scheduled }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled timers that have not been drained yet.
-func (s *Simulator) Pending() int { return s.queue.Len() }
+// Pending returns the exact number of events waiting in the queue
+// (cancelled timers are removed eagerly, so none linger).
+func (s *Simulator) Pending() int { return len(s.heap) }
 
 // Schedule runs fn after d ticks. A negative d is an error; d == 0 runs fn
 // at the current tick, after all events already queued for this tick.
-func (s *Simulator) Schedule(d Time, fn Event) (*Timer, error) {
+func (s *Simulator) Schedule(d Time, fn Event) (Timer, error) {
 	if d < 0 {
-		return nil, fmt.Errorf("%w: delay %d", ErrPastTime, d)
+		return Timer{}, fmt.Errorf("%w: delay %d", ErrPastTime, d)
 	}
 	return s.scheduleAt(s.now+d, fn), nil
 }
 
 // ScheduleAt runs fn at absolute virtual time t.
-func (s *Simulator) ScheduleAt(t Time, fn Event) (*Timer, error) {
+func (s *Simulator) ScheduleAt(t Time, fn Event) (Timer, error) {
 	if t < s.now {
-		return nil, fmt.Errorf("%w: at %d, now %d", ErrPastTime, t, s.now)
+		return Timer{}, fmt.Errorf("%w: at %d, now %d", ErrPastTime, t, s.now)
 	}
 	return s.scheduleAt(t, fn), nil
 }
 
-func (s *Simulator) scheduleAt(t Time, fn Event) *Timer {
+func (s *Simulator) scheduleAt(t Time, fn Event) Timer {
 	s.seq++
 	s.scheduled++
-	tm := &Timer{at: t, seq: s.seq, fn: fn, index: -1}
-	heap.Push(&s.queue, tm)
-	return tm
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.nodes = append(s.nodes, timerNode{})
+		idx = int32(len(s.nodes) - 1)
+	}
+	nd := &s.nodes[idx]
+	nd.at, nd.seq, nd.fn = t, s.seq, fn
+	s.heapPush(idx)
+	return Timer{s: s, idx: idx, gen: nd.gen}
+}
+
+// release recycles a node: the generation bump invalidates every
+// outstanding handle, and dropping fn releases the closure.
+func (s *Simulator) release(idx int32) {
+	nd := &s.nodes[idx]
+	nd.gen++
+	nd.fn = nil
+	s.free = append(s.free, idx)
 }
 
 // Step executes the next pending event, advancing virtual time to its
 // scheduled tick. It reports whether an event was executed; false means the
 // queue is empty.
 func (s *Simulator) Step() bool {
-	for s.queue.Len() > 0 {
-		tm := heap.Pop(&s.queue).(*Timer)
-		if tm.cancelled {
-			continue
-		}
-		s.now = tm.at
-		s.executed++
-		tm.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	idx := s.heapRemove(0)
+	nd := &s.nodes[idx]
+	s.now = nd.at
+	s.executed++
+	fn := nd.fn
+	// Recycle before running: fn may re-enter Schedule, and the stale
+	// generation keeps the event's own Timer handle inert either way.
+	s.release(idx)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty and returns the final
@@ -155,11 +210,7 @@ func (s *Simulator) Run() Time {
 // the clock to deadline (even if the queue drained earlier or later events
 // remain pending).
 func (s *Simulator) RunUntil(deadline Time) Time {
-	for {
-		tm := s.peek()
-		if tm == nil || tm.at > deadline {
-			break
-		}
+	for len(s.heap) > 0 && s.nodes[s.heap[0]].at <= deadline {
 		s.Step()
 	}
 	if s.now < deadline {
@@ -171,50 +222,80 @@ func (s *Simulator) RunUntil(deadline Time) Time {
 // RunFor is RunUntil(Now()+d).
 func (s *Simulator) RunFor(d Time) Time { return s.RunUntil(s.now + d) }
 
-// peek returns the earliest non-cancelled pending timer, draining cancelled
-// entries from the head of the queue.
-func (s *Simulator) peek() *Timer {
-	for s.queue.Len() > 0 {
-		tm := s.queue[0]
-		if !tm.cancelled {
-			return tm
+// The event queue is an implicit 4-ary min-heap of node indices ordered
+// by (time, sequence number); the sequence tiebreak preserves FIFO order
+// among same-tick events. A 4-ary layout halves the tree depth of a
+// binary heap, and sifting compares pooled nodes directly — no interface
+// calls, no boxing.
+
+const heapArity = 4
+
+func (s *Simulator) heapLess(a, b int32) bool {
+	na, nb := &s.nodes[a], &s.nodes[b]
+	if na.at != nb.at {
+		return na.at < nb.at
+	}
+	return na.seq < nb.seq
+}
+
+func (s *Simulator) heapSwap(i, j int) {
+	h := s.heap
+	h[i], h[j] = h[j], h[i]
+	s.nodes[h[i]].heapIdx = int32(i)
+	s.nodes[h[j]].heapIdx = int32(j)
+}
+
+func (s *Simulator) heapPush(idx int32) {
+	s.heap = append(s.heap, idx)
+	s.nodes[idx].heapIdx = int32(len(s.heap) - 1)
+	s.siftUp(len(s.heap) - 1)
+}
+
+func (s *Simulator) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !s.heapLess(s.heap[i], s.heap[p]) {
+			return
 		}
-		heap.Pop(&s.queue)
+		s.heapSwap(i, p)
+		i = p
 	}
-	return nil
 }
 
-// eventQueue is a min-heap ordered by (time, sequence number). The sequence
-// tiebreak preserves FIFO order among same-tick events.
-type eventQueue []*Timer
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (s *Simulator) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		for c := first + 1; c < min(first+heapArity, n); c++ {
+			if s.heapLess(s.heap[c], s.heap[best]) {
+				best = c
+			}
+		}
+		if !s.heapLess(s.heap[best], s.heap[i]) {
+			return
+		}
+		s.heapSwap(i, best)
+		i = best
 	}
-	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	tm := x.(*Timer)
-	tm.index = len(*q)
-	*q = append(*q, tm)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
-	tm.index = -1
-	*q = old[:n-1]
-	return tm
+// heapRemove removes and returns the node index at heap position i,
+// restoring the heap invariant.
+func (s *Simulator) heapRemove(i int) int32 {
+	last := len(s.heap) - 1
+	if i != last {
+		s.heapSwap(i, last)
+	}
+	idx := s.heap[last]
+	s.nodes[idx].heapIdx = -1
+	s.heap = s.heap[:last]
+	if i != last {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+	return idx
 }

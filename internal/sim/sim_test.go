@@ -79,8 +79,8 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled timer fired")
 	}
-	if !tm.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if tm.Active() {
+		t.Fatal("Active() = true after Cancel")
 	}
 }
 
@@ -235,7 +235,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	f := func(mask uint32) bool {
 		s := New()
 		fired := make(map[int]bool)
-		var timers []*Timer
+		var timers []Timer
 		for i := 0; i < 32; i++ {
 			i := i
 			tm, err := s.Schedule(Time(i%7), func() { fired[i] = true })
@@ -263,7 +263,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
-func mustSchedule(t *testing.T, s *Simulator, d Time, fn Event) *Timer {
+func mustSchedule(t *testing.T, s *Simulator, d Time, fn Event) Timer {
 	t.Helper()
 	tm, err := s.Schedule(d, fn)
 	if err != nil {

@@ -179,13 +179,8 @@ type Network struct {
 	compiled  bool
 	sendEdges map[ChanID][]edgeRef
 	recvEdges map[ChanID][]edgeRef
-	// scratch buffers reused across Successors calls (see the concurrency
-	// note on Successors). None of them escape a call.
-	scratchCommitted []bool
-	scratchMust      []bool
-	scratchSeen      []bool
-	scratchRecv      []edgeRef
-	scratchTick      State
+	// defaultCtx backs the convenience Network.Successors method.
+	defaultCtx *SuccCtx
 }
 
 type edgeRef struct {
@@ -329,18 +324,48 @@ func (n *Network) enabled(s *State, a int, e *Edge) bool {
 	return e.Guard == nil || e.Guard(s)
 }
 
+// SuccCtx is a successor-generation context: it owns the scratch buffers
+// Successors reuses between calls, so distinct contexts over one (fully
+// built, read-only) Network may generate successors concurrently — one
+// context per worker goroutine. The network must not be modified (Add,
+// Clock, Var, Chan, SetReceivePriority) after contexts are created.
+//
+// A SuccCtx itself is not safe for concurrent use, and its buffer-reuse
+// contract matches Network.Successors: targets live in buf's spare
+// capacity and scratch masks are valid only until the next call on the
+// same context.
+type SuccCtx struct {
+	n *Network
+	// scratch buffers reused across Successors calls. None of them
+	// escape a call.
+	scratchCommitted []bool
+	scratchMust      []bool
+	scratchSeen      []bool
+	scratchRecv      []edgeRef
+	scratchTick      State
+}
+
+// NewSuccCtx compiles the network (if needed) and returns a fresh
+// successor-generation context. Create one per worker goroutine; the
+// creation itself must happen before any concurrent use of the network.
+func (n *Network) NewSuccCtx() *SuccCtx {
+	n.compile()
+	return &SuccCtx{n: n}
+}
+
 // committedActive returns the set of automata in committed locations, or
 // nil if none. The returned mask is a scratch buffer valid only until the
-// next Successors call.
-func (n *Network) committedActive(s *State) []bool {
+// next Successors call on this context.
+func (c *SuccCtx) committedActive(s *State) []bool {
+	n := c.n
 	var mask []bool
 	for i, a := range n.automata {
 		if a.Locations[s.Locs[i]].Kind == Committed {
 			if mask == nil {
-				if len(n.scratchCommitted) != len(n.automata) {
-					n.scratchCommitted = make([]bool, len(n.automata))
+				if len(c.scratchCommitted) != len(n.automata) {
+					c.scratchCommitted = make([]bool, len(n.automata))
 				}
-				mask = n.scratchCommitted
+				mask = c.scratchCommitted
 				clear(mask)
 			}
 			mask[i] = true
@@ -379,12 +404,24 @@ func appendTarget(buf []Transition, src *State) ([]Transition, *Transition) {
 // Target states reuse the spare capacity of buf beyond len(buf): a caller
 // may recycle its buffer with buf[:0] between calls, but must not retain a
 // Transition.Target from an earlier call while doing so (copy the state or
-// its key first). The network also keeps internal scratch buffers, so
-// Successors must not be called concurrently on one Network, nor
-// re-entered from a Guard, Invariant, or Update closure.
+// its key first). This method reuses one internal default context, so it
+// must not be called concurrently on one Network, nor re-entered from a
+// Guard, Invariant, or Update closure. Concurrent exploration goes through
+// per-worker contexts from NewSuccCtx instead.
 func (n *Network) Successors(s *State, buf []Transition) []Transition {
-	n.compile()
-	committed := n.committedActive(s)
+	if n.defaultCtx == nil || !n.compiled {
+		n.defaultCtx = n.NewSuccCtx()
+	}
+	return n.defaultCtx.Successors(s, buf)
+}
+
+// Successors appends all outgoing transitions of s to buf and returns it.
+// See Network.Successors for the buffer-reuse contract; the enumeration
+// order is fixed by the network's declaration order and identical across
+// contexts.
+func (c *SuccCtx) Successors(s *State, buf []Transition) []Transition {
+	n := c.n
+	committed := c.committedActive(s)
 	start := len(buf)
 
 	// Internal edges.
@@ -410,7 +447,7 @@ func (n *Network) Successors(s *State, buf []Transition) []Transition {
 	// Handshakes and broadcasts.
 	for ch := ChanID(1); ch < ChanID(len(n.channels)); ch++ {
 		if n.channels[ch].Broadcast {
-			buf = n.broadcastSuccessors(s, ch, committed, buf)
+			buf = c.broadcastSuccessors(s, ch, committed, buf)
 		} else {
 			buf = n.handshakeSuccessors(s, ch, committed, buf)
 		}
@@ -420,7 +457,7 @@ func (n *Network) Successors(s *State, buf []Transition) []Transition {
 	// enabled, and its channel cannot let time pass — it is processed
 	// before timeouts.
 	if n.priority {
-		buf = n.applyPriority(s, buf, start)
+		buf = c.applyPriority(s, buf, start)
 	}
 
 	// Delay transition.
@@ -473,7 +510,8 @@ func (n *Network) handshakeSuccessors(s *State, ch ChanID, committed []bool, buf
 
 // broadcastSuccessors fires each enabled sender together with every
 // enabled receiver (receivers never block a broadcast).
-func (n *Network) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf []Transition) []Transition {
+func (c *SuccCtx) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf []Transition) []Transition {
+	n := c.n
 	for _, sr := range n.sendEdges[ch] {
 		se := &n.automata[sr.aut].Edges[sr.edge]
 		if !n.enabled(s, sr.aut, se) {
@@ -483,12 +521,12 @@ func (n *Network) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 		// heartbeat models never have two enabled receivers on the same
 		// broadcast channel in one automaton; the first (declaration
 		// order) wins, matching UPPAAL's deterministic model layout.
-		if len(n.scratchSeen) != len(n.automata) {
-			n.scratchSeen = make([]bool, len(n.automata))
+		if len(c.scratchSeen) != len(n.automata) {
+			c.scratchSeen = make([]bool, len(n.automata))
 		}
-		seen := n.scratchSeen
+		seen := c.scratchSeen
 		clear(seen)
-		receivers := n.scratchRecv[:0]
+		receivers := c.scratchRecv[:0]
 		for _, rr := range n.recvEdges[ch] {
 			if rr.aut == sr.aut || seen[rr.aut] {
 				continue
@@ -499,7 +537,7 @@ func (n *Network) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 				seen[rr.aut] = true
 			}
 		}
-		n.scratchRecv = receivers
+		c.scratchRecv = receivers
 		if committed != nil && !committed[sr.aut] {
 			anyCommitted := false
 			for _, rr := range receivers {
@@ -570,7 +608,7 @@ func (n *Network) appendDelay(s *State, committed []bool, buf []Transition) []Tr
 // still wait does not pre-empt timeouts: the fix re-orders simultaneous
 // events, it does not shrink channel delays. Only entries from index
 // start on are considered.
-func (n *Network) applyPriority(s *State, buf []Transition, start int) []Transition {
+func (c *SuccCtx) applyPriority(s *State, buf []Transition, start int) []Transition {
 	anyDue := false
 	var mustMove []bool // lazily computed per initiating automaton
 	for _, t := range buf[start:] {
@@ -578,7 +616,7 @@ func (n *Network) applyPriority(s *State, buf []Transition, start int) []Transit
 			continue
 		}
 		if mustMove == nil {
-			mustMove = n.mustMoveNow(s)
+			mustMove = c.mustMoveNow(s)
 		}
 		if mustMove[t.src] {
 			anyDue = true
@@ -604,9 +642,11 @@ func (n *Network) applyPriority(s *State, buf []Transition, start int) []Transit
 // mustMoveNow reports, per automaton, whether its current location's
 // invariant would fail after one tick — i.e. the automaton must take a
 // discrete transition before time passes. The returned mask and the ticked
-// state are scratch buffers valid only until the next Successors call.
-func (n *Network) mustMoveNow(s *State) []bool {
-	t := &n.scratchTick
+// state are scratch buffers valid only until the next Successors call on
+// this context.
+func (c *SuccCtx) mustMoveNow(s *State) []bool {
+	n := c.n
+	t := &c.scratchTick
 	t.Locs = append(t.Locs[:0], s.Locs...)
 	t.Clocks = append(t.Clocks[:0], s.Clocks...)
 	t.Vars = append(t.Vars[:0], s.Vars...)
@@ -615,10 +655,10 @@ func (n *Network) mustMoveNow(s *State) []bool {
 			t.Clocks[i]++
 		}
 	}
-	if len(n.scratchMust) != len(n.automata) {
-		n.scratchMust = make([]bool, len(n.automata))
+	if len(c.scratchMust) != len(n.automata) {
+		c.scratchMust = make([]bool, len(n.automata))
 	}
-	out := n.scratchMust
+	out := c.scratchMust
 	for i, a := range n.automata {
 		inv := a.Locations[s.Locs[i]].Invariant
 		out[i] = inv != nil && !inv(t)
