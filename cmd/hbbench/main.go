@@ -166,6 +166,11 @@ func run(out, label string, table bool, workers int) error {
 		}
 	}
 	hist.Entries = append(hist.Entries, entry)
+	// Validate the whole file, not just the new entry: the history is the
+	// artifact, and a corrupt earlier entry should block appends too.
+	if err := validateHistory(hist); err != nil {
+		return fmt.Errorf("refusing to write %s: %w", out, err)
+	}
 	b, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
 		return err

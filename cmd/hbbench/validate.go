@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// validateHistory checks the whole benchmark history before it is
+// written back: a malformed entry appended today becomes a silently
+// broken trajectory diff months later, so the append fails loudly
+// instead. Rules:
+//
+//   - every entry has a non-empty label, and labels are unique (a
+//     duplicate label makes "the pr4-maxprocs8 row" ambiguous);
+//   - every entry's date parses as RFC3339 and dates never move
+//     backwards (the file is an append-only trajectory; out-of-order
+//     dates mean someone rewrote history or a clock is broken);
+//   - the required measurement fields are present: go version,
+//     maxprocs >= 1, and positive per_sec/ns_per_op for both the
+//     checker and the simulator (a zero rate means the benchmark did
+//     not actually run).
+func validateHistory(h History) error {
+	seen := make(map[string]int, len(h.Entries))
+	var prev time.Time
+	for i, e := range h.Entries {
+		where := fmt.Sprintf("entry %d (label %q)", i, e.Label)
+		if e.Label == "" {
+			return fmt.Errorf("entry %d: empty label", i)
+		}
+		if j, dup := seen[e.Label]; dup {
+			return fmt.Errorf("%s: duplicate label (first used by entry %d); pick a distinct -label", where, j)
+		}
+		seen[e.Label] = i
+		d, err := time.Parse(time.RFC3339, e.Date)
+		if err != nil {
+			return fmt.Errorf("%s: date %q is not RFC3339: %v", where, e.Date, err)
+		}
+		if d.Before(prev) {
+			return fmt.Errorf("%s: date %s precedes the previous entry's %s; the history is append-only and must stay chronological", where, e.Date, prev.Format(time.RFC3339))
+		}
+		prev = d
+		if e.Go == "" {
+			return fmt.Errorf("%s: missing go version", where)
+		}
+		if e.MaxProcs < 1 {
+			return fmt.Errorf("%s: maxprocs %d < 1", where, e.MaxProcs)
+		}
+		if err := validateMetrics("checker", e.Checker); err != nil {
+			return fmt.Errorf("%s: %v", where, err)
+		}
+		if err := validateMetrics("simulator", e.Simulator); err != nil {
+			return fmt.Errorf("%s: %v", where, err)
+		}
+	}
+	return nil
+}
+
+func validateMetrics(name string, m Metrics) error {
+	if m.PerSec <= 0 {
+		return fmt.Errorf("%s per_sec %g is not positive; the benchmark did not run", name, m.PerSec)
+	}
+	if m.NSPerOp <= 0 {
+		return fmt.Errorf("%s ns_per_op %g is not positive", name, m.NSPerOp)
+	}
+	return nil
+}

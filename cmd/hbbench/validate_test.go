@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func goodEntry(label, date string) Entry {
+	return Entry{
+		Label:    label,
+		Date:     date,
+		Go:       "go1.24.0",
+		MaxProcs: 1,
+		Checker:  Metrics{PerSec: 1.2e6, NSPerOp: 8.3e8, AllocsPerOp: 1600},
+		Simulator: Metrics{
+			PerSec: 8.7e6, NSPerOp: 1.1e7, AllocsPerOp: 60,
+		},
+	}
+}
+
+func TestValidateHistory(t *testing.T) {
+	cases := []struct {
+		name    string
+		history History
+		wantErr string // empty = valid
+	}{
+		{
+			name: "valid pair",
+			history: History{Entries: []Entry{
+				goodEntry("pr2-baseline", "2026-07-01T10:00:00Z"),
+				goodEntry("pr4-simfast", "2026-07-20T09:30:00Z"),
+			}},
+		},
+		{
+			name:    "empty history",
+			history: History{},
+		},
+		{
+			name: "equal dates allowed",
+			history: History{Entries: []Entry{
+				goodEntry("a", "2026-07-01T10:00:00Z"),
+				goodEntry("b", "2026-07-01T10:00:00Z"),
+			}},
+		},
+		{
+			name: "empty label",
+			history: History{Entries: []Entry{
+				goodEntry("", "2026-07-01T10:00:00Z"),
+			}},
+			wantErr: "empty label",
+		},
+		{
+			name: "duplicate label",
+			history: History{Entries: []Entry{
+				goodEntry("run", "2026-07-01T10:00:00Z"),
+				goodEntry("run", "2026-07-02T10:00:00Z"),
+			}},
+			wantErr: "duplicate label",
+		},
+		{
+			name: "bad date",
+			history: History{Entries: []Entry{
+				goodEntry("a", "July 1st"),
+			}},
+			wantErr: "not RFC3339",
+		},
+		{
+			name: "dates move backwards",
+			history: History{Entries: []Entry{
+				goodEntry("a", "2026-07-02T10:00:00Z"),
+				goodEntry("b", "2026-07-01T10:00:00Z"),
+			}},
+			wantErr: "precedes",
+		},
+		{
+			name: "missing go version",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodEntry("a", "2026-07-01T10:00:00Z")
+					e.Go = ""
+					return e
+				}(),
+			}},
+			wantErr: "missing go version",
+		},
+		{
+			name: "zero checker rate",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodEntry("a", "2026-07-01T10:00:00Z")
+					e.Checker.PerSec = 0
+					return e
+				}(),
+			}},
+			wantErr: "checker per_sec",
+		},
+		{
+			name: "zero maxprocs",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodEntry("a", "2026-07-01T10:00:00Z")
+					e.MaxProcs = 0
+					return e
+				}(),
+			}},
+			wantErr: "maxprocs",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateHistory(tc.history)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+// TestCheckedInHistoryValid pins the repo's actual BENCH_mc.json against
+// the same rules the append path enforces, so a hand-edit that breaks
+// the trajectory fails in tests before the next hbbench run trips on it.
+func TestCheckedInHistoryValid(t *testing.T) {
+	b, err := os.ReadFile("../../BENCH_mc.json")
+	if err != nil {
+		t.Skipf("no checked-in history: %v", err)
+	}
+	var hist History
+	if err := json.Unmarshal(b, &hist); err != nil {
+		t.Fatalf("BENCH_mc.json does not parse: %v", err)
+	}
+	if len(hist.Entries) == 0 {
+		t.Fatal("BENCH_mc.json has no entries")
+	}
+	if err := validateHistory(hist); err != nil {
+		t.Fatalf("checked-in BENCH_mc.json fails validation: %v", err)
+	}
+}

@@ -8,9 +8,15 @@
 //	hbcheck -table 2 -workers 4   # fan cells over 4 goroutines, same output
 //	hbcheck -variant binary -tmin 10 -prop R2 -trace
 //	hbcheck -variant binary -tmin 9 -workers 8   # parallel BFS, same verdict/trace
+//	hbcheck -analyze                  # structural analysis of all six variants
+//	hbcheck -analyze -variant dynamic # pre-flight analysis, then the check
 //
 // Exit status is 0 when every verdict matches the analysis' expectation
 // (tables mode) or when the requested property holds (single mode).
+// -analyze runs ta.Analyze as a pre-flight over the model(s) about to be
+// explored — with no table or variant, over all six variants (original and
+// corrected) — and refuses to run the BFS on a model with structural
+// problems (exit 1).
 package main
 
 import (
@@ -37,12 +43,21 @@ func main() {
 		showTrace = flag.Bool("trace", false, "single check: print the counter-example when the property fails")
 		maxStates = flag.Int("max-states", 20_000_000, "state-space limit per check")
 		workers   = flag.Int("workers", 0, "worker goroutines: parallel-BFS workers for a single check, concurrent table cells for tables (0 = GOMAXPROCS); results are identical at any count")
+		analyze   = flag.Bool("analyze", false, "run the structural model analysis (ta.Analyze) before exploring; alone: analyze all six variants and exit")
 	)
 	flag.Parse()
 
 	opts := mc.Options{MaxStates: *maxStates}
 	switch {
 	case *table != "":
+		// Pre-flight every variant the tables will build before spending
+		// minutes of BFS on a structurally broken model.
+		if *analyze {
+			if err := runAnalyzeAll(int32(*tmin), int32(*tmax)); err != nil {
+				fmt.Fprintln(os.Stderr, "hbcheck:", err)
+				os.Exit(1)
+			}
+		}
 		// Tables parallelise across cells (each cell is an independent
 		// model), so the per-cell BFS stays sequential.
 		if err := runTables(*table, int32(*tmax), *workers, opts); err != nil {
@@ -57,6 +72,18 @@ func main() {
 		if opts.Workers <= 0 {
 			opts.Workers = runtime.GOMAXPROCS(0)
 		}
+		if *analyze {
+			v, err := parseVariant(*variant)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hbcheck:", err)
+				os.Exit(1)
+			}
+			cfg := models.Config{TMin: int32(*tmin), TMax: int32(*tmax), Variant: v, N: defaultN(v, *n), Fixed: *fixed}
+			if err := analyzeConfig(cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "hbcheck:", err)
+				os.Exit(1)
+			}
+		}
 		ok, err := runSingle(*variant, *prop, int32(*tmin), int32(*tmax), *n, *fixed, *showTrace, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hbcheck:", err)
@@ -65,10 +92,52 @@ func main() {
 		if !ok {
 			os.Exit(2)
 		}
+	case *analyze:
+		if err := runAnalyzeAll(int32(*tmin), int32(*tmax)); err != nil {
+			fmt.Fprintln(os.Stderr, "hbcheck:", err)
+			os.Exit(1)
+		}
 	default:
 		flag.Usage()
 		os.Exit(1)
 	}
+}
+
+// analyzeConfig builds cfg's network and runs the structural analysis,
+// printing every problem; a non-nil error means the model failed.
+func analyzeConfig(cfg models.Config) error {
+	m, err := models.Build(cfg)
+	if err != nil {
+		return err
+	}
+	problems := m.Net.Analyze()
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "analyze %v tmin=%d tmax=%d fixed=%v: %s\n",
+			cfg.Variant, cfg.TMin, cfg.TMax, cfg.Fixed, p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("analyze: %v (tmin=%d tmax=%d fixed=%v): %d problem(s)",
+			cfg.Variant, cfg.TMin, cfg.TMax, cfg.Fixed, len(problems))
+	}
+	return nil
+}
+
+// runAnalyzeAll analyzes all six variants, original and corrected, at the
+// given constants.
+func runAnalyzeAll(tmin, tmax int32) error {
+	for _, v := range []models.Variant{
+		models.Binary, models.RevisedBinary, models.TwoPhase,
+		models.Static, models.Expanding, models.Dynamic,
+	} {
+		for _, fixed := range []bool{false, true} {
+			cfg := models.Config{TMin: tmin, TMax: tmax, Variant: v, N: defaultN(v, 0), Fixed: fixed}
+			if err := analyzeConfig(cfg); err != nil {
+				return err
+			}
+			fmt.Printf("analyze %v tmin=%d tmax=%d fixed=%v: ok\n", v, tmin, tmax, fixed)
+		}
+	}
+	return nil
 }
 
 func parseVariant(s string) (models.Variant, error) {

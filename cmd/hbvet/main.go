@@ -1,0 +1,124 @@
+// Command hbvet runs the repository's project-specific static analyzers
+// (internal/lint) over the tree:
+//
+//	hbvet ./...                      # everything (from the module root)
+//	hbvet ./internal/sim ./internal/mc
+//	hbvet -check determinism,map-order ./...
+//	hbvet -list                      # describe the checks
+//
+// The five checks enforce the conventions the checker and simulator
+// correctness hangs on: deterministic replay (no wall-clock or global
+// rand), map-iteration-order hygiene, the ta.Successors/AppendKey
+// buffer-reuse contract, //hbvet:noalloc allocation discipline on
+// annotated hot paths, and atomic-vs-plain access discipline. Findings
+// print as file:line:col: message [check]; exit status is 1 when any
+// finding survives //lint:allow suppression, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		checks = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
+		list   = flag.Bool("list", false, "list the available checks and exit")
+		root   = flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	moduleRoot := *root
+	if moduleRoot == "" {
+		var err error
+		moduleRoot, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	n, err := run(moduleRoot, patterns, splitChecks(*checks))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbvet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "hbvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func splitChecks(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// run loads the packages and prints the findings, returning how many
+// there were.
+func run(root string, patterns, checks []string) (int, error) {
+	ld, err := lint.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	cfg := lint.Config{Checks: checks}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range lint.RunPackage(pkg, cfg) {
+			rel := f
+			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel.String())
+			total++
+		}
+	}
+	return total, nil
+}

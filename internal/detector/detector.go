@@ -420,6 +420,7 @@ func (n *Node) fireTimer(id core.TimerID, gen uint64) {
 	}
 }
 
+//hbvet:noalloc
 // apply executes the machine's actions. Callers hold n.mu.
 func (n *Node) apply(actions []core.Action) {
 	now := n.cfg.Clock.Now()
@@ -443,6 +444,7 @@ func (n *Node) apply(actions []core.Action) {
 			n.seq[act.ID]++
 			gen := n.seq[act.ID]
 			id := act.ID
+			//lint:allow hot-path-alloc generic-clock arm path; the SimClock hot path took the setSimTimer branch above
 			n.timers[id] = n.cfg.Clock.After(act.Delay, func() { n.onTimer(id, gen) })
 		case core.ActCancelTimer:
 			if n.simc != nil {
@@ -468,6 +470,7 @@ func (n *Node) apply(actions []core.Action) {
 	}
 }
 
+//hbvet:noalloc
 // setSimTimer (re)arms a timer on the SimClock fast path. The simTimer's
 // closures are created once per TimerID; steady-state rearms allocate
 // nothing. Callers hold n.mu; the simulation itself is single-threaded,
@@ -475,13 +478,16 @@ func (n *Node) apply(actions []core.Action) {
 func (n *Node) setSimTimer(id core.TimerID, d core.Tick) {
 	st, ok := n.simTimers[id]
 	if !ok {
+		//lint:allow hot-path-alloc first-arm warm-up; one simTimer per TimerID, reused for every rearm
 		st = &simTimer{}
+		//lint:allow hot-path-alloc built once per TimerID on first arm, reused afterwards
 		st.fire = func() { n.fireSimTimer(id) }
 		if n.cfg.ReceivePriority {
 			// §6.1: when the delay elapses, take one zero-delay hop
 			// through the scheduler so same-instant deliveries already
 			// queued run first. A SetTimer or CancelTimer landing during
 			// the hop cancels it through st.tm as usual.
+			//lint:allow hot-path-alloc built once per TimerID on first arm, reused afterwards
 			st.arm = func() {
 				tm, err := n.simc.Schedule(0, st.fire)
 				if err != nil {
@@ -497,15 +503,18 @@ func (n *Node) setSimTimer(id core.TimerID, d core.Tick) {
 	st.tm.Cancel() // no-op unless a previous arm is still pending
 	tm, err := n.simc.Schedule(sim.Time(d), st.arm)
 	if err != nil {
+		//lint:allow hot-path-alloc cold panic path; machines only arm non-negative delays
 		panic(fmt.Sprintf("detector: scheduling timer: %v", err))
 	}
 	st.tm = tm
 }
 
+//hbvet:noalloc
 // fireSimTimer delivers a timer expiry to the machine on the SimClock
 // fast path.
 func (n *Node) fireSimTimer(id core.TimerID) {
 	n.mu.Lock()
+	//lint:allow hot-path-alloc closure does not escape runGuarded (called inline, not retained), so it stays on the stack
 	rec := n.runGuarded(Trigger{Kind: TriggerTimer, Timer: id}, func() []core.Action {
 		return n.cfg.Machine.OnTimer(id, n.cfg.Clock.Now())
 	})

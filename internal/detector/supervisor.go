@@ -186,9 +186,18 @@ func (s *Supervisor) Manage(n *Node, factory func() (core.Machine, error)) error
 func (s *Supervisor) Stop() {
 	s.mu.Lock()
 	s.stopped = true
-	cancels := make([]func(), 0, len(s.timers))
-	for _, c := range s.timers {
-		cancels = append(cancels, c)
+	// Cancel in arming order, not map order: under a SimClock the cancels
+	// mutate the shared event heap, and a stable order keeps a stopped
+	// supervisor's heap layout — and with it any replayed campaign —
+	// byte-identical run to run.
+	ids := make([]uint64, 0, len(s.timers))
+	for id := range s.timers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	cancels := make([]func(), 0, len(ids))
+	for _, id := range ids {
+		cancels = append(cancels, s.timers[id])
 	}
 	s.timers = make(map[uint64]func())
 	s.mu.Unlock()
@@ -448,6 +457,7 @@ func Retry(attempts int, base time.Duration, op func() error) error {
 			return nil
 		}
 		if k < attempts-1 {
+			//lint:allow determinism Retry is a wall-clock utility for real deployments; simulated runs pace restarts through the Supervisor's Clock instead.
 			time.Sleep(base << k)
 		}
 	}

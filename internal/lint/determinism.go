@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDeterminism bans nondeterminism sources outside the explicit
+// wall-clock boundary: wall-clock reads (time.Now and friends) and the
+// global math/rand generator. Campaign replay depends on every run being
+// a pure function of its seeds; one stray time.Now or rand.Intn breaks
+// byte-identical replay silently.
+//
+// Seeded randomness is fine: methods on a *rand.Rand constructed via
+// rand.New(rand.NewSource(seed)) are not flagged, only the package-level
+// convenience functions that share the unseeded global generator.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall-clock reads or global math/rand outside allowlisted wall-clock files",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time package functions that read or depend on
+// the physical clock. Pure constructors and conversions (time.Duration,
+// time.Unix, time.Date) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that build
+// explicitly seeded state rather than touching the global generator.
+var seededRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	allow := p.Config.WallClockAllow
+	if allow == nil {
+		allow = DefaultWallClockAllow
+	}
+	for _, file := range p.Files {
+		if p.fileAllowed(file.Pos(), allow) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(p.Info, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods never touch the global generator or clock here
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[obj.Name()] {
+					p.Reportf(call.Pos(), "wall-clock read time.%s breaks deterministic replay; use the sim/detector clock (or allowlist this file)", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandFuncs[obj.Name()] {
+					p.Reportf(call.Pos(), "global rand.%s uses the shared unseeded generator; construct a *rand.Rand from an explicit seed parameter", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// want is one golden expectation: a finding on a specific line whose
+// message contains a substring.
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// collectWants parses `// want "substr" "substr"` comments. Each
+// expectation applies to the line the comment sits on.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[idx+len("// want "):])
+				for rest != "" {
+					if rest[0] != '"' {
+						t.Fatalf("%s:%d: malformed want clause %q", pos.Filename, pos.Line, rest)
+					}
+					end := -1
+					for i := 1; i < len(rest); i++ {
+						if rest[i] == '\\' {
+							i++
+							continue
+						}
+						if rest[i] == '"' {
+							end = i
+							break
+						}
+					}
+					if end < 0 {
+						t.Fatalf("%s:%d: unterminated want clause %q", pos.Filename, pos.Line, rest)
+					}
+					quoted := rest[:end+1]
+					substr, err := strconv.Unquote(quoted)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want clause %s: %v", pos.Filename, pos.Line, quoted, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, substr: substr})
+					rest = strings.TrimSpace(rest[end+1:])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runGolden loads one testdata package, runs the named check, and
+// reconciles the findings against the package's want comments.
+func runGolden(t *testing.T, pkgdir, check string, cfg Config) {
+	t.Helper()
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.Join("internal/lint/testdata", pkgdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want one package, got %d", len(pkgs))
+	}
+	pkg := pkgs[0]
+	cfg.Checks = []string{check}
+	findings := RunPackage(pkg, cfg)
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: missing finding containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// moduleRoot walks up from the package directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the lint package")
+		}
+		dir = parent
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	runGolden(t, "determinism", "determinism", Config{
+		WallClockAllow: []string{"testdata/determinism/allowed_clock.go"},
+	})
+}
+
+func TestGoldenMapOrder(t *testing.T) {
+	runGolden(t, "maporder", "map-order", Config{})
+}
+
+func TestGoldenBufferReuse(t *testing.T) {
+	runGolden(t, "bufreuse", "buffer-reuse", Config{})
+}
+
+func TestGoldenNoAlloc(t *testing.T) {
+	runGolden(t, "noalloc", "hot-path-alloc", Config{})
+}
+
+func TestGoldenSyncDiscipline(t *testing.T) {
+	runGolden(t, "syncdiscipline", "sync-discipline", Config{})
+}
+
+// TestDirectiveHygiene pins the //lint:allow bookkeeping: justified and
+// used directives are silent, unjustified and unused ones are findings of
+// their own. (Expectations are asserted here rather than with want
+// comments, which cannot share a line with the directive they describe.)
+func TestDirectiveHygiene(t *testing.T) {
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("internal/lint/testdata/directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackage(pkgs[0], Config{Checks: []string{"determinism"}})
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Check+": "+f.Message)
+	}
+	wantSubstr := []string{
+		"lint: //lint:allow determinism needs a justification",
+		"lint: //lint:allow determinism suppresses nothing",
+	}
+	if len(got) != len(wantSubstr) {
+		t.Fatalf("want %d findings, got %v", len(wantSubstr), got)
+	}
+	for i, w := range wantSubstr {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("finding %d = %q, want it to contain %q", i, got[i], w)
+		}
+	}
+}

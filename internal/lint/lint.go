@@ -1,0 +1,298 @@
+// Package lint is a stdlib-only static-analysis framework for this
+// repository: a small analyzer driver (go/ast + go/types, no external
+// dependencies) plus the project-specific checks that keep the
+// determinism, buffer-reuse, and allocation contracts of the checker and
+// simulator hot paths honest.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis in
+// miniature — Analyzer, Pass, Findings — but is self-contained so the
+// container needs nothing beyond the Go toolchain. Checks:
+//
+//   - determinism: no wall-clock reads (time.Now and friends) or global
+//     math/rand calls outside explicitly allowlisted wall-clock files;
+//     every *rand.Rand must be built from an explicit seed expression.
+//   - map-order: a range over a map whose body appends to an outer
+//     slice, writes output, or sends on a channel is flagged unless the
+//     collected slice is sorted afterwards — the campaign-replay bug
+//     class PR 1 hit at runtime.
+//   - buffer-reuse: callers of ta.Successors / ta.SuccCtx.Successors /
+//     ta.State.AppendKey must not retain the returned slice (or its
+//     elements) beyond the next call on the same value — see the
+//     non-reentrancy contract in internal/ta.
+//   - hot-path-alloc: functions annotated //hbvet:noalloc are rejected
+//     if their bodies contain likely allocation sites (make/new, escaping
+//     composite literals, escaping closures, appends that build fresh
+//     slices, or implicit interface conversions).
+//   - sync-discipline: a struct field accessed through sync/atomic in
+//     one place must be accessed through sync/atomic everywhere.
+//
+// A finding on line N is suppressed by a comment
+//
+//	//lint:allow <check> <justification>
+//
+// on line N or line N-1. Suppressions without a justification are
+// themselves findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+// String formats the finding as file:line:col: message [check].
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Check)
+}
+
+// Analyzer is one check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Config is the driver-level configuration shared by all analyzers.
+	Config Config
+
+	findings *[]Finding
+}
+
+// Config tunes the analyzer suite.
+type Config struct {
+	// WallClockAllow lists path suffixes of files allowed to read the
+	// wall clock and construct time-seeded state: the explicit wall-clock
+	// boundary of the system (detector.WallClock, cmd/hbbench).
+	WallClockAllow []string
+	// Checks, when non-empty, restricts the run to the named analyzers.
+	Checks []string
+}
+
+// DefaultWallClockAllow is the repository's wall-clock boundary: the
+// only files that may read physical time. Everything else must get time
+// from a sim.Simulator or detector.Clock and randomness from a seeded
+// *rand.Rand.
+var DefaultWallClockAllow = []string{
+	"internal/detector/detector.go", // WallClock implementation
+	"internal/netem/ticker.go",      // WallTicker implementation
+	"cmd/hbbench/main.go",           // benchmark timestamps and timings
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDeterminism,
+		AnalyzerMapOrder,
+		AnalyzerBufferReuse,
+		AnalyzerNoAlloc,
+		AnalyzerSyncDiscipline,
+	}
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) report(f Finding) {
+	*p.findings = append(*p.findings, f)
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	check     string
+	line      int
+	justified bool
+	pos       token.Pos
+}
+
+// collectAllows parses every //lint:allow directive in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []allowDirective {
+	var out []allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := allowDirective{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+				if len(fields) > 0 {
+					d.check = fields[0]
+				}
+				d.justified = len(fields) > 1
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions drops findings covered by an //lint:allow on the
+// same or the preceding line, and reports unjustified or unused
+// directives as findings of their own.
+func applySuppressions(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	allows := collectAllows(fset, files)
+	if len(allows) == 0 {
+		return findings
+	}
+	used := make([]bool, len(allows))
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for i, d := range allows {
+			if d.check != f.Check {
+				continue
+			}
+			if fset.Position(d.pos).Filename != f.Pos.Filename {
+				continue
+			}
+			if d.line == f.Pos.Line || d.line == f.Pos.Line-1 {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for i, d := range allows {
+		if !d.justified {
+			kept = append(kept, Finding{
+				Check:   "lint",
+				Pos:     fset.Position(d.pos),
+				Message: fmt.Sprintf("//lint:allow %s needs a justification comment", d.check),
+			})
+		} else if !used[i] {
+			kept = append(kept, Finding{
+				Check:   "lint",
+				Pos:     fset.Position(d.pos),
+				Message: fmt.Sprintf("//lint:allow %s suppresses nothing", d.check),
+			})
+		}
+	}
+	return kept
+}
+
+// RunPackage runs the configured analyzers over one loaded package and
+// returns the surviving findings sorted by position.
+func RunPackage(pkg *Package, cfg Config) []Finding {
+	var findings []Finding
+	for _, a := range Analyzers() {
+		if len(cfg.Checks) > 0 && !containsString(cfg.Checks, a.Name) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Config:   cfg,
+			findings: &findings,
+		}
+		a.Run(pass)
+	}
+	findings = applySuppressions(pkg.Fset, pkg.Files, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Check < findings[j].Check
+	})
+	return findings
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// fileAllowed reports whether the file at pos matches one of the
+// allowlisted path suffixes.
+func (p *Pass) fileAllowed(pos token.Pos, allow []string) bool {
+	name := p.Fset.Position(pos).Filename
+	name = strings.ReplaceAll(name, "\\", "/")
+	for _, suf := range allow {
+		if strings.HasSuffix(name, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObj resolves the called function object of a call expression, or
+// nil (builtin, indirect call, type conversion).
+func calleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name
+// (not a method).
+func isPkgFunc(obj *types.Func, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name && obj.Type().(*types.Signature).Recv() == nil
+}
+
+// isMethod reports whether obj is a method named name whose receiver's
+// named type lives in pkgPath and is called typeName.
+func isMethod(obj *types.Func, pkgPath, typeName, name string) bool {
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerSyncDiscipline enforces the access-discipline rule the
+// parallel checker relies on (see internal/mc/parallel.go): a memory
+// location accessed through sync/atomic anywhere must be accessed
+// through sync/atomic everywhere. Mixing an atomic.AddInt64 on one path
+// with a plain read or a mutex-guarded write on another is a data race
+// the race detector only catches when both paths happen to run — the
+// analyzer catches it statically.
+//
+// Tracked locations are struct fields and package-level variables whose
+// address is passed to a sync/atomic function. Fields of the typed
+// atomic.* wrappers enforce their own discipline and need no analysis.
+// Initialisation before the location is shared is legitimately
+// non-atomic; such sites carry a //lint:allow sync-discipline
+// suppression naming why publication is safe.
+var AnalyzerSyncDiscipline = &Analyzer{
+	Name: "sync-discipline",
+	Doc:  "locations accessed via sync/atomic must be accessed via sync/atomic everywhere",
+	Run:  runSyncDiscipline,
+}
+
+func runSyncDiscipline(p *Pass) {
+	// Pass 1: collect locations whose address flows into sync/atomic.
+	atomicLocs := map[types.Object]bool{}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op.String() != "&" {
+					continue
+				}
+				if obj := addressableLoc(p.Info, u.X); obj != nil {
+					atomicLocs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicLocs) == 0 {
+		return
+	}
+	// Composite-literal keys (Counter{hits: 0}) are construction, not
+	// shared access; collect them so pass 2 can skip them.
+	litKeys := map[*ast.Ident]bool{}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						litKeys[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: flag every plain (non-atomic) access to those locations.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isAtomicCall(p.Info, call) {
+				return false // accesses inside the atomic call are the point
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.ObjectOf(id)
+			if obj == nil || !atomicLocs[obj] || obj.Pos() == id.Pos() || litKeys[id] {
+				return true
+			}
+			p.Reportf(id.Pos(), "%q is accessed via sync/atomic elsewhere; this plain access races with it (use atomic, or a //lint:allow sync-discipline with the publication argument)", obj.Name())
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether the call targets a sync/atomic function
+// or a method of the typed atomic wrappers.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressableLoc resolves expr to a tracked location object: a struct
+// field (via selector) or a package-level variable. Locals are skipped —
+// their sharing is established by explicit &x handoff the analyzer
+// cannot trace soundly.
+func addressableLoc(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}

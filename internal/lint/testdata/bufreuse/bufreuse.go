@@ -1,0 +1,70 @@
+// Package bufreuse is hbvet golden-test input for the ta buffer-reuse
+// contract: results of Successors/AppendKey called with a recycled buffer
+// must flow back into the same buffer and must not outlive the next call.
+package bufreuse
+
+import "repro/internal/ta"
+
+type holder struct {
+	kept []ta.Transition
+	key  []byte
+}
+
+func aliasing(n *ta.Network, s *ta.State, buf []ta.Transition) int {
+	out := n.Successors(s, buf[:0]) // want "aliases recycled buffer \"buf\""
+	return len(out)
+}
+
+func canonical(n *ta.Network, s *ta.State, buf []ta.Transition) int {
+	buf = n.Successors(s, buf[:0]) // the sanctioned shape: result back into the recycled buffer
+	return len(buf)
+}
+
+func freshBufferIsExempt(n *ta.Network, s *ta.State) int {
+	out := n.Successors(s, nil) // fresh buffer: nothing recycled, nothing retained
+	return len(out)
+}
+
+func returning(n *ta.Network, s *ta.State, buf []ta.Transition) []ta.Transition {
+	buf = n.Successors(s, buf[:0])
+	return buf // want "returning \"buf\" leaks the recycled Successors buffer"
+}
+
+func storing(n *ta.Network, s *ta.State, h *holder, buf []ta.Transition) {
+	buf = n.Successors(s, buf[:0])
+	h.kept = buf // want "storing \"buf\" into a struct field retains the recycled Successors buffer"
+}
+
+func capturing(n *ta.Network, s *ta.State, buf []ta.Transition) func() int {
+	buf = n.Successors(s, buf[:0])
+	return func() int { // want "closure captures \"buf\", the recycled Successors buffer"
+		return len(buf)
+	}
+}
+
+func appending(n *ta.Network, s *ta.State, all []ta.Transition, buf []ta.Transition) []ta.Transition {
+	buf = n.Successors(s, buf[:0])
+	all = append(all, buf...) // want "appending \"buf\" into another slice retains the recycled Successors buffer"
+	return all
+}
+
+func cloningElement(n *ta.Network, s *ta.State, buf []ta.Transition) ta.State {
+	buf = n.Successors(s, buf[:0])
+	return buf[0].Target.Clone() // Clone is an explicit deep copy
+}
+
+func keyAsMapIndex(s *ta.State, seen map[string]bool, key []byte) bool {
+	key = s.AppendKey(key[:0])
+	return seen[string(key)] // string(...) copies the bytes out of the buffer
+}
+
+func keyStored(s *ta.State, h *holder, key []byte) {
+	key = s.AppendKey(key[:0])
+	h.key = key // want "storing \"key\" into a struct field retains the recycled AppendKey buffer"
+}
+
+func suppressed(n *ta.Network, s *ta.State, buf []ta.Transition) []ta.Transition {
+	buf = n.Successors(s, buf[:0])
+	//lint:allow buffer-reuse golden-test fixture: the caller consumes the slice before the next call
+	return buf
+}

@@ -1,0 +1,42 @@
+// Package determinism is hbvet golden-test input: wall-clock and global
+// randomness outside the allowlist. Each "want" comment pins a finding.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "wall-clock read time.Now breaks deterministic replay"
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want "wall-clock read time.Sleep"
+}
+
+func ticking() *time.Ticker {
+	return time.NewTicker(time.Second) // want "wall-clock read time.NewTicker"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global rand.Intn uses the shared unseeded generator"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructing from a seed is the sanctioned pattern
+	return r.Intn(10)
+}
+
+func methodCallsAreFine(r *rand.Rand) int {
+	return r.Intn(10) // methods on an injected *rand.Rand carry their own seed
+}
+
+func durations() time.Duration {
+	return 3 * time.Millisecond // arithmetic on time types reads no clock
+}
+
+func suppressed() time.Time {
+	//lint:allow determinism golden-test fixture for a justified suppression
+	return time.Now()
+}

@@ -1,0 +1,23 @@
+// Package directives is hbvet golden-test input for //lint:allow
+// hygiene: a justified suppression is silent, an unjustified one and an
+// unused one are findings of their own. The expectations live in the
+// driver test (TestDirectiveHygiene) because a "want" comment cannot
+// share a line with the directive it describes.
+package directives
+
+import "time"
+
+func justified() time.Time {
+	//lint:allow determinism fixture justification
+	return time.Now()
+}
+
+func unjustified() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}
+
+func unused() int {
+	//lint:allow determinism nothing on the next line reads a clock
+	return 1
+}

@@ -1,0 +1,64 @@
+// Package maporder is hbvet golden-test input: map ranges whose bodies
+// record, print, or send the nondeterministic iteration order.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside a map range records map iteration order"
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below, so the iteration order cannot escape
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output write inside a map range leaks map iteration order"
+	}
+}
+
+func sending(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside a map range leaks map iteration order"
+	}
+}
+
+func innerSliceIsFine(m map[string]int) int {
+	total := 0
+	for k := range m {
+		var local []string // declared inside the range: order cannot outlive the iteration
+		local = append(local, k)
+		total += len(local)
+	}
+	return total
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // slice iteration is ordered
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow map-order golden-test fixture: the caller treats the result as a set
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,46 @@
+// Package syncdiscipline is hbvet golden-test input: a field accessed
+// through sync/atomic anywhere must be accessed through sync/atomic
+// everywhere.
+package syncdiscipline
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed via atomic: all access must be atomic
+	misses int64 // never atomic: plain access is fine
+}
+
+func (c *counters) recordHit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) recordMiss() {
+	c.misses++
+}
+
+func (c *counters) snapshotRacy() (int64, int64) {
+	return c.hits, c.misses // want "\"hits\" is accessed via sync/atomic elsewhere; this plain access races"
+}
+
+func (c *counters) snapshotAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) resetSuppressed() {
+	//lint:allow sync-discipline golden-test fixture: all writers are parked during reset
+	c.hits = 0
+}
+
+var published int64
+
+func publish(v int64) {
+	atomic.StoreInt64(&published, v)
+}
+
+func peekRacy() int64 {
+	return published // want "\"published\" is accessed via sync/atomic elsewhere; this plain access races"
+}
+
+func fresh() *counters {
+	return &counters{hits: 0, misses: 0} // composite-literal construction precedes sharing
+}

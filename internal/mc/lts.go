@@ -205,6 +205,7 @@ func (l *LTS) WeakTraceReduce(opts Options) (*LTS, error) {
 	closure := func(set map[int]bool) map[int]bool {
 		stack := make([]int, 0, len(set))
 		for s := range set {
+			//lint:allow map-order worklist seeding; the computed closure is a set, so the pop order cannot reach the output
 			stack = append(stack, s)
 		}
 		for len(stack) > 0 {

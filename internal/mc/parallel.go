@@ -101,6 +101,13 @@ type rawTrans struct {
 }
 
 // workerState is the per-goroutine exploration context.
+//
+// ctx is this worker's private ta.SuccCtx: SuccCtx.Successors is not
+// reentrant — each call recycles the context's scratch masks and, with a
+// recycled buf, the previous call's Transition slice (hbvet's
+// buffer-reuse check enforces the caller side of that contract). One
+// context per worker keeps every call data-race-free and the recycled
+// buffers thread-local.
 type workerState struct {
 	ctx      *ta.SuccCtx
 	scratch  ta.State
@@ -269,14 +276,18 @@ func (e *explorer) expandWorker(ws *workerState, next *int64, levelEnd, chunk in
 	}
 }
 
+//hbvet:noalloc
 func (e *explorer) expandState(ws *workerState, gid int) {
 	ws.scratch.DecodeKey(e.key(gid), e.numLocs, e.numClocks)
 	if e.prune != nil && e.prune(&ws.scratch) {
 		return
 	}
+	// Per the SuccCtx contract (see workerState), the result goes straight
+	// back into ws.buf and is consumed before this worker's next call.
 	ws.buf = ws.ctx.Successors(&ws.scratch, ws.buf[:0])
 	ws.transitions += len(ws.buf)
 	if len(ws.buf) >= 1<<seqTransBits {
+		//lint:allow hot-path-alloc cold panic path; no model approaches 2^20 outgoing transitions
 		panic(fmt.Sprintf("mc: state fan-out %d overflows seq tag", len(ws.buf)))
 	}
 	base := uint64(gid) << seqTransBits

@@ -321,7 +321,13 @@ func (m *Model) declareChans() {
 			m.chReplyFalse = append(m.chReplyFalse, 0)
 		}
 		m.chDlvTrue = append(m.chDlvTrue, n.Chan(fmt.Sprintf("dlv0_true_p%d", i+1), true))
-		m.chDlvFalse = append(m.chDlvFalse, n.Chan(fmt.Sprintf("dlv0_false_p%d", i+1), true))
+		if m.Cfg.Variant == Dynamic {
+			// Leave beats exist only in the dynamic protocol; declaring the
+			// channel elsewhere leaves it dead (ta.Analyze flags it).
+			m.chDlvFalse = append(m.chDlvFalse, n.Chan(fmt.Sprintf("dlv0_false_p%d", i+1), true))
+		} else {
+			m.chDlvFalse = append(m.chDlvFalse, 0)
+		}
 		if m.Cfg.joinPhase() {
 			m.chJoin = append(m.chJoin, n.Chan(fmt.Sprintf("join_p%d", i+1), false))
 		} else {

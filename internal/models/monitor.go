@@ -26,7 +26,12 @@ func (m *Model) buildMonitor(i int) {
 	}
 	mo.watch = addLoc(a, ta.Location{Name: "Watch"})
 	mo.errLoc = addLoc(a, ta.Location{Name: "Error"})
-	mo.off = addLoc(a, ta.Location{Name: "Off"})
+	// Off is entered only by a delivered leave, which exists only in the
+	// dynamic protocol; elsewhere it would be dead (ta.Analyze flags it).
+	mo.off = -1
+	if cfg.Variant == Dynamic {
+		mo.off = addLoc(a, ta.Location{Name: "Off"})
+	}
 	if idle >= 0 {
 		a.Init = idle
 		a.Edges = append(a.Edges, ta.Edge{

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 )
 
@@ -166,6 +167,9 @@ func (u *UDPTransport) Broadcast(from NodeID, payload []byte) error {
 		}
 	}
 	u.mu.Unlock()
+	// Send in id order, not map order: UDP itself may reorder, but the
+	// transport should not inject nondeterminism of its own.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, to := range ids {
 		if err := u.Send(from, to, payload); err != nil {
 			return err
@@ -184,6 +188,7 @@ func (u *UDPTransport) Close() error {
 	u.closed = true
 	conns := make([]*net.UDPConn, 0, len(u.nodes))
 	for _, n := range u.nodes {
+		//lint:allow map-order every socket is closed regardless of order, and Close returns only the first error of an already-unordered set
 		conns = append(conns, n.conn)
 	}
 	u.mu.Unlock()

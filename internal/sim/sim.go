@@ -72,6 +72,7 @@ func (t Timer) At() Time {
 	return t.s.nodes[t.idx].at
 }
 
+//hbvet:noalloc
 // Cancel prevents the timer's event from running, removing it from the
 // event queue immediately. Cancelling an already fired or already
 // cancelled timer is a no-op. It reports whether the cancellation
@@ -136,23 +137,28 @@ func (s *Simulator) EventsScheduled() uint64 { return s.scheduled }
 // (cancelled timers are removed eagerly, so none linger).
 func (s *Simulator) Pending() int { return len(s.heap) }
 
+//hbvet:noalloc
 // Schedule runs fn after d ticks. A negative d is an error; d == 0 runs fn
 // at the current tick, after all events already queued for this tick.
 func (s *Simulator) Schedule(d Time, fn Event) (Timer, error) {
 	if d < 0 {
+		//lint:allow hot-path-alloc cold error path; the steady-state pin in alloc_test.go never schedules negative delays
 		return Timer{}, fmt.Errorf("%w: delay %d", ErrPastTime, d)
 	}
 	return s.scheduleAt(s.now+d, fn), nil
 }
 
+//hbvet:noalloc
 // ScheduleAt runs fn at absolute virtual time t.
 func (s *Simulator) ScheduleAt(t Time, fn Event) (Timer, error) {
 	if t < s.now {
+		//lint:allow hot-path-alloc cold error path; scheduling in the past is a caller bug, not a hot-path event
 		return Timer{}, fmt.Errorf("%w: at %d, now %d", ErrPastTime, t, s.now)
 	}
 	return s.scheduleAt(t, fn), nil
 }
 
+//hbvet:noalloc
 func (s *Simulator) scheduleAt(t Time, fn Event) Timer {
 	s.seq++
 	s.scheduled++
@@ -170,6 +176,7 @@ func (s *Simulator) scheduleAt(t Time, fn Event) Timer {
 	return Timer{s: s, idx: idx, gen: nd.gen}
 }
 
+//hbvet:noalloc
 // release recycles a node: the generation bump invalidates every
 // outstanding handle, and dropping fn releases the closure.
 func (s *Simulator) release(idx int32) {
@@ -179,6 +186,7 @@ func (s *Simulator) release(idx int32) {
 	s.free = append(s.free, idx)
 }
 
+//hbvet:noalloc
 // Step executes the next pending event, advancing virtual time to its
 // scheduled tick. It reports whether an event was executed; false means the
 // queue is empty.
@@ -230,6 +238,7 @@ func (s *Simulator) RunFor(d Time) Time { return s.RunUntil(s.now + d) }
 
 const heapArity = 4
 
+//hbvet:noalloc
 func (s *Simulator) heapLess(a, b int32) bool {
 	na, nb := &s.nodes[a], &s.nodes[b]
 	if na.at != nb.at {
@@ -238,6 +247,7 @@ func (s *Simulator) heapLess(a, b int32) bool {
 	return na.seq < nb.seq
 }
 
+//hbvet:noalloc
 func (s *Simulator) heapSwap(i, j int) {
 	h := s.heap
 	h[i], h[j] = h[j], h[i]
@@ -245,12 +255,14 @@ func (s *Simulator) heapSwap(i, j int) {
 	s.nodes[h[j]].heapIdx = int32(j)
 }
 
+//hbvet:noalloc
 func (s *Simulator) heapPush(idx int32) {
 	s.heap = append(s.heap, idx)
 	s.nodes[idx].heapIdx = int32(len(s.heap) - 1)
 	s.siftUp(len(s.heap) - 1)
 }
 
+//hbvet:noalloc
 func (s *Simulator) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / heapArity
@@ -262,6 +274,7 @@ func (s *Simulator) siftUp(i int) {
 	}
 }
 
+//hbvet:noalloc
 func (s *Simulator) siftDown(i int) {
 	n := len(s.heap)
 	for {
@@ -283,6 +296,7 @@ func (s *Simulator) siftDown(i int) {
 	}
 }
 
+//hbvet:noalloc
 // heapRemove removes and returns the node index at heap position i,
 // restoring the heap invariant.
 func (s *Simulator) heapRemove(i int) int32 {

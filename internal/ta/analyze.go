@@ -1,0 +1,386 @@
+package ta
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the structural model analyzer behind `hbcheck -analyze` and
+// `hbvet`'s Layer 2: a pre-flight pass over a built Network that catches
+// model-construction bugs before any BFS runs. Guards, invariants, and
+// updates are opaque Go closures, so the analyzer cannot inspect them
+// symbolically; instead it evaluates them concretely over a deterministic
+// probe grid — a handful of base configurations (initial, all-zero,
+// all-at-cap) refined by single- and pairwise-coordinate scans over each
+// location index, each clock's landmark values ({0, 1, cap/2, cap-1,
+// cap}), and each variable's candidate constants (initials, clock caps,
+// small integers). The grid is deterministic, so the analyzer's verdict
+// is reproducible run to run.
+//
+// Satisfiability-style checks (unsat-guard, unsat-invariant, nondet-pair,
+// useless-reset) are therefore heuristic in one direction only: a guard
+// reported unsatisfiable was false on every probe, which for the guard
+// shapes this repository builds (conjunctions of interval bounds over at
+// most two coordinates) is a proof. A guard needing three or more
+// specific non-landmark coordinates simultaneously could in principle be
+// a false positive; none of the six protocol variants comes close. The
+// structural checks (edge ranges, unreachable locations, dead channels)
+// are exact.
+//
+// Checks:
+//
+//   - structure: edge endpoints or channel ids out of range, initial
+//     location out of range, more locations than the uint8 state vector
+//     can index, handshake sends with no possible partner (and the
+//     symmetric dead receives), channels declared but never used.
+//   - unreachable: locations no edge path from Init can reach (guards
+//     ignored, so a flagged location is unreachable under any valuation).
+//   - unsat-invariant: a location invariant false on every probe: the
+//     location can never be occupied.
+//   - unsat-guard: an edge guard false on every probe satisfying the
+//     source location's invariant — the edge can never fire.
+//   - nondet-pair: two same-label, same-channel edges from one location
+//     whose guards agree on every probe: either a duplicate edge (same
+//     effect) or unintended nondeterminism (different effect).
+//   - useless-reset: an update writes a clock that no guard, invariant,
+//     or other update ever reads.
+//   - clock-cap: a guard or invariant distinguishes clock values at or
+//     above the clock's cap, breaking the capping soundness condition
+//     documented on Network.Clock.
+type Problem struct {
+	// Check names the analysis that fired (see the list above).
+	Check string
+	// Automaton is the owning automaton's name ("" for network-level
+	// problems such as unused channels).
+	Automaton string
+	// Where pinpoints the location, edge, or declaration.
+	Where string
+	// Message explains the problem.
+	Message string
+}
+
+// String formats the problem as automaton/where: message [check].
+func (p Problem) String() string {
+	prefix := p.Where
+	if p.Automaton != "" {
+		prefix = p.Automaton + ": " + prefix
+	}
+	return fmt.Sprintf("%s: %s [%s]", prefix, p.Message, p.Check)
+}
+
+// Analyze runs every structural check over the network and returns the
+// problems sorted by automaton, then position. A healthy model returns
+// nil; the checker's -analyze pre-flight refuses to explore a model with
+// any problem.
+func (n *Network) Analyze() []Problem {
+	n.compile()
+	a := &analysis{n: n, pc: newProbeCtx(n)}
+	a.checkStructure()
+	a.checkReachability()
+	a.checkGuards()
+	a.checkNondetPairs()
+	a.checkClockUse()
+	a.checkClockCaps()
+	sort.SliceStable(a.problems, func(i, j int) bool {
+		if a.problems[i].Automaton != a.problems[j].Automaton {
+			return a.problems[i].Automaton < a.problems[j].Automaton
+		}
+		return a.problems[i].Where < a.problems[j].Where
+	})
+	return a.problems
+}
+
+type analysis struct {
+	n        *Network
+	pc       *probeCtx
+	problems []Problem
+}
+
+func (a *analysis) reportf(check string, aut int, where, format string, args ...any) {
+	name := ""
+	if aut >= 0 {
+		name = a.n.automata[aut].Name
+	}
+	a.problems = append(a.problems, Problem{
+		Check:     check,
+		Automaton: name,
+		Where:     where,
+		Message:   fmt.Sprintf(format, args...),
+	})
+}
+
+// edgeDesc renders edge ei of automaton ai as "from -> to (label)".
+func (a *analysis) edgeDesc(ai, ei int) string {
+	aut := a.n.automata[ai]
+	e := aut.Edges[ei]
+	name := func(loc int) string {
+		if loc >= 0 && loc < len(aut.Locations) {
+			return aut.Locations[loc].Name
+		}
+		return fmt.Sprintf("#%d", loc)
+	}
+	label := e.Label
+	if label == "" {
+		label = "tau"
+	}
+	return fmt.Sprintf("edge %s -> %s (%s)", name(e.From), name(e.To), label)
+}
+
+// ---------------------------------------------------------------------------
+// structure
+
+func (a *analysis) checkStructure() {
+	n := a.n
+	chanUsed := make([]bool, len(n.channels))
+	chanUsed[0] = true // pseudo-channel for internal edges
+	for ai, aut := range n.automata {
+		if len(aut.Locations) == 0 {
+			a.reportf("structure", ai, "automaton", "has no locations")
+			continue
+		}
+		if len(aut.Locations) > 256 {
+			a.reportf("structure", ai, "automaton",
+				"%d locations overflow the uint8 location vector (max 256)", len(aut.Locations))
+		}
+		if aut.Init < 0 || aut.Init >= len(aut.Locations) {
+			a.reportf("structure", ai, "automaton",
+				"initial location %d out of range [0, %d)", aut.Init, len(aut.Locations))
+		}
+		for ei, e := range aut.Edges {
+			if e.From < 0 || e.From >= len(aut.Locations) || e.To < 0 || e.To >= len(aut.Locations) {
+				a.reportf("structure", ai, a.edgeDesc(ai, ei),
+					"endpoint out of range [0, %d)", len(aut.Locations))
+				continue
+			}
+			if e.Chan < 0 || int(e.Chan) >= len(n.channels) {
+				a.reportf("structure", ai, a.edgeDesc(ai, ei),
+					"channel id %d out of range [0, %d)", e.Chan, len(n.channels))
+				continue
+			}
+			if e.Chan != 0 {
+				chanUsed[e.Chan] = true
+			}
+		}
+	}
+	for ci := 1; ci < len(n.channels); ci++ {
+		ch := ChanID(ci)
+		if !chanUsed[ci] {
+			a.reportf("structure", -1, fmt.Sprintf("channel %q", n.channels[ci].Name),
+				"declared but never used on any edge")
+			continue
+		}
+		sends, recvs := n.sendEdges[ch], n.recvEdges[ch]
+		if n.channels[ci].Broadcast {
+			// A broadcast send fires even with zero receivers, but a
+			// receive with no sender can never fire.
+			if len(recvs) > 0 && len(sends) == 0 {
+				for _, r := range recvs {
+					a.reportf("structure", r.aut, a.edgeDesc(r.aut, r.edge),
+						"receives on broadcast channel %q, which has no sender", n.channels[ci].Name)
+				}
+			}
+			continue
+		}
+		// Handshakes need a partner in a different automaton.
+		for _, s := range sends {
+			if !hasPartner(recvs, s.aut) {
+				a.reportf("structure", s.aut, a.edgeDesc(s.aut, s.edge),
+					"sends on channel %q, which has no receiver outside this automaton", n.channels[ci].Name)
+			}
+		}
+		for _, r := range recvs {
+			if !hasPartner(sends, r.aut) {
+				a.reportf("structure", r.aut, a.edgeDesc(r.aut, r.edge),
+					"receives on channel %q, which has no sender outside this automaton", n.channels[ci].Name)
+			}
+		}
+	}
+}
+
+// hasPartner reports whether refs contains an edge of an automaton other
+// than self (a handshake cannot pair two edges of one automaton).
+func hasPartner(refs []edgeRef, self int) bool {
+	for _, r := range refs {
+		if r.aut != self {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// unreachable
+
+// checkReachability flags locations that no edge path from Init can
+// reach, with guards ignored — an over-approximation of reachability, so
+// every flagged location is genuinely dead.
+func (a *analysis) checkReachability() {
+	for ai, aut := range a.n.automata {
+		if aut.Init < 0 || aut.Init >= len(aut.Locations) {
+			continue // already a structure problem
+		}
+		seen := make([]bool, len(aut.Locations))
+		stack := []int{aut.Init}
+		seen[aut.Init] = true
+		for len(stack) > 0 {
+			loc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range aut.Edges {
+				if e.From == loc && e.To >= 0 && e.To < len(aut.Locations) && !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		for li, ok := range seen {
+			if !ok {
+				a.reportf("unreachable", ai, fmt.Sprintf("location %s", aut.Locations[li].Name),
+					"no edge path from initial location %s reaches it", aut.Locations[aut.Init].Name)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// guard and invariant satisfiability
+
+func (a *analysis) checkGuards() {
+	for ai, aut := range a.n.automata {
+		invSat := make([]bool, len(aut.Locations))
+		for li, loc := range aut.Locations {
+			inv := loc.Invariant
+			invSat[li] = inv == nil || a.pc.satisfiable(ai, li, inv)
+			if !invSat[li] {
+				a.reportf("unsat-invariant", ai, fmt.Sprintf("location %s", loc.Name),
+					"invariant is false on every probe state; the location can never be occupied")
+			}
+		}
+		for ei, e := range aut.Edges {
+			if e.Guard == nil || e.From < 0 || e.From >= len(aut.Locations) {
+				continue
+			}
+			if !invSat[e.From] {
+				continue // cascading; the invariant problem covers it
+			}
+			inv := aut.Locations[e.From].Invariant
+			guard := e.Guard
+			pred := func(s *State) bool {
+				return (inv == nil || inv(s)) && guard(s)
+			}
+			if !a.pc.satisfiable(ai, e.From, pred) {
+				a.reportf("unsat-guard", ai, a.edgeDesc(ai, ei),
+					"guard is false on every probe state satisfying %s's invariant; the edge can never fire",
+					aut.Locations[e.From].Name)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// nondeterministic same-label pairs
+
+// checkNondetPairs looks for pairs of edges out of one location with the
+// same label and synchronisation whose guards agree on every probe: a
+// duplicate edge if the effects agree too, unintended nondeterminism if
+// they differ.
+func (a *analysis) checkNondetPairs() {
+	for ai, aut := range a.n.automata {
+		for i, e1 := range aut.Edges {
+			for j := i + 1; j < len(aut.Edges); j++ {
+				e2 := aut.Edges[j]
+				if e1.From != e2.From || e1.Label != e2.Label ||
+					e1.Chan != e2.Chan || e1.Send != e2.Send || e1.Class != e2.Class {
+					continue
+				}
+				if e1.From < 0 || e1.From >= len(aut.Locations) {
+					continue
+				}
+				if a.pc.distinguishable(ai, e1.From, guardOrTrue(e1.Guard), guardOrTrue(e2.Guard)) {
+					continue
+				}
+				sameTarget := e1.To == e2.To &&
+					!a.pc.updatesDiffer(ai, e1.From, e1.Update, e2.Update)
+				if sameTarget {
+					a.reportf("nondet-pair", ai, a.edgeDesc(ai, i),
+						"duplicate of %s: same guard, target, and effect on every probe", a.edgeDesc(ai, j))
+				} else {
+					a.reportf("nondet-pair", ai, a.edgeDesc(ai, i),
+						"guards agree with %s on every probe but the effects differ: unintended nondeterminism?",
+						a.edgeDesc(ai, j))
+				}
+			}
+		}
+	}
+}
+
+func guardOrTrue(g Guard) Guard {
+	if g == nil {
+		return func(*State) bool { return true }
+	}
+	return g
+}
+
+// ---------------------------------------------------------------------------
+// useless clock resets
+
+// checkClockUse flags updates that write a clock no guard, invariant, or
+// update ever reads: the reset only inflates the state space.
+func (a *analysis) checkClockUse() {
+	n := a.n
+	if len(n.clockCaps) == 0 {
+		return
+	}
+	read := make([]bool, len(n.clockCaps))
+	for ci := range n.clockCaps {
+		read[ci] = a.pc.clockRead(ci)
+	}
+	for ai, aut := range n.automata {
+		for ei, e := range aut.Edges {
+			if e.Update == nil || e.From < 0 || e.From >= len(aut.Locations) {
+				continue
+			}
+			for _, ci := range a.pc.writtenClocks(ai, e.From, e.Update) {
+				if !read[ci] {
+					a.reportf("useless-reset", ai, a.edgeDesc(ai, ei),
+						"writes clock %q, which no guard, invariant, or update reads", n.clockNames[ci])
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// clock cap soundness
+
+// checkClockCaps verifies the soundness condition documented on
+// Network.Clock: capping is exact only while no guard or invariant
+// distinguishes clock values at or above the cap. Each guard is probed at
+// cap versus cap+1 and cap+2 (in contexts where the source invariant
+// admits both values); a difference means the capped exploration diverges
+// from the true unbounded semantics.
+func (a *analysis) checkClockCaps() {
+	for ci := range a.n.clockCaps {
+		for ai, aut := range a.n.automata {
+			for li, loc := range aut.Locations {
+				if loc.Invariant == nil {
+					continue
+				}
+				if a.pc.capDistinguished(ai, li, ci, nil, loc.Invariant) {
+					a.reportf("clock-cap", ai, fmt.Sprintf("location %s", loc.Name),
+						"invariant distinguishes %q values at or above its cap %d; raise the cap",
+						a.n.clockNames[ci], a.n.clockCaps[ci])
+				}
+			}
+			for ei, e := range aut.Edges {
+				if e.Guard == nil || e.From < 0 || e.From >= len(aut.Locations) {
+					continue
+				}
+				if a.pc.capDistinguished(ai, e.From, ci, aut.Locations[e.From].Invariant, e.Guard) {
+					a.reportf("clock-cap", ai, a.edgeDesc(ai, ei),
+						"guard distinguishes %q values at or above its cap %d; raise the cap",
+						a.n.clockNames[ci], a.n.clockCaps[ci])
+				}
+			}
+		}
+	}
+}

@@ -70,6 +70,7 @@ func (s *State) Clone() State {
 	}
 }
 
+//hbvet:noalloc
 // AppendKey appends the state's canonical key encoding to buf and returns
 // the extended slice: the location vector verbatim, then each clock and
 // variable as a big-endian 16-bit truncation. It never allocates beyond
@@ -95,6 +96,7 @@ func (s *State) Key() string {
 	return string(s.AppendKey(make([]byte, 0, s.KeyLen())))
 }
 
+//hbvet:noalloc
 // DecodeKey rebuilds the state encoded by AppendKey into s, reusing s's
 // slice capacity. numLocs and numClocks fix the layout; the variable count
 // is the remainder of the key. Values round-trip exactly when they fit in
@@ -315,6 +317,7 @@ func (n *Network) compile() {
 	n.compiled = true
 }
 
+//hbvet:noalloc
 // enabled reports whether edge e of automaton a can fire in s (location
 // and guard only; synchronisation is the caller's concern).
 func (n *Network) enabled(s *State, a int, e *Edge) bool {
@@ -353,6 +356,7 @@ func (n *Network) NewSuccCtx() *SuccCtx {
 	return &SuccCtx{n: n}
 }
 
+//hbvet:noalloc
 // committedActive returns the set of automata in committed locations, or
 // nil if none. The returned mask is a scratch buffer valid only until the
 // next Successors call on this context.
@@ -363,6 +367,7 @@ func (c *SuccCtx) committedActive(s *State) []bool {
 		if a.Locations[s.Locs[i]].Kind == Committed {
 			if mask == nil {
 				if len(c.scratchCommitted) != len(n.automata) {
+					//lint:allow hot-path-alloc scratch warm-up, sized once per context; steady state reuses the mask
 					c.scratchCommitted = make([]bool, len(n.automata))
 				}
 				mask = c.scratchCommitted
@@ -374,6 +379,7 @@ func (c *SuccCtx) committedActive(s *State) []bool {
 	return mask
 }
 
+//hbvet:noalloc
 // appendTarget extends buf by one transition whose target starts as a
 // copy of src, reusing the spare slot's slice capacity (dead entries left
 // beyond len(buf) by a caller recycling its buffer with buf[:0] donate
@@ -415,6 +421,7 @@ func (n *Network) Successors(s *State, buf []Transition) []Transition {
 	return n.defaultCtx.Successors(s, buf)
 }
 
+//hbvet:noalloc
 // Successors appends all outgoing transitions of s to buf and returns it.
 // See Network.Successors for the buffer-reuse contract; the enumeration
 // order is fixed by the network's declaration order and identical across
@@ -464,6 +471,7 @@ func (c *SuccCtx) Successors(s *State, buf []Transition) []Transition {
 	return n.appendDelay(s, committed, buf)
 }
 
+//hbvet:noalloc
 // handshakeSuccessors pairs each enabled sender with each enabled receiver
 // in a different automaton.
 func (n *Network) handshakeSuccessors(s *State, ch ChanID, committed []bool, buf []Transition) []Transition {
@@ -508,6 +516,7 @@ func (n *Network) handshakeSuccessors(s *State, ch ChanID, committed []bool, buf
 	return buf
 }
 
+//hbvet:noalloc
 // broadcastSuccessors fires each enabled sender together with every
 // enabled receiver (receivers never block a broadcast).
 func (c *SuccCtx) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf []Transition) []Transition {
@@ -522,6 +531,7 @@ func (c *SuccCtx) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 		// broadcast channel in one automaton; the first (declaration
 		// order) wins, matching UPPAAL's deterministic model layout.
 		if len(c.scratchSeen) != len(n.automata) {
+			//lint:allow hot-path-alloc scratch warm-up, sized once per context; steady state reuses the mask
 			c.scratchSeen = make([]bool, len(n.automata))
 		}
 		seen := c.scratchSeen
@@ -572,6 +582,7 @@ func (c *SuccCtx) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 	return buf
 }
 
+//hbvet:noalloc
 // appendDelay appends the tick transition to buf if time may pass.
 func (n *Network) appendDelay(s *State, committed []bool, buf []Transition) []Transition {
 	if committed != nil {
@@ -601,6 +612,7 @@ func (n *Network) appendDelay(s *State, committed []bool, buf []Transition) []Tr
 	return grown
 }
 
+//hbvet:noalloc
 // applyPriority implements the §6.1 fix: ClassTimeout transitions are
 // suppressed while some enabled ClassDeliver transition is DUE — its
 // initiating automaton (the channel) can no longer let time pass, so the
@@ -639,6 +651,7 @@ func (c *SuccCtx) applyPriority(s *State, buf []Transition, start int) []Transit
 	return buf[:keep]
 }
 
+//hbvet:noalloc
 // mustMoveNow reports, per automaton, whether its current location's
 // invariant would fail after one tick — i.e. the automaton must take a
 // discrete transition before time passes. The returned mask and the ticked
@@ -656,6 +669,7 @@ func (c *SuccCtx) mustMoveNow(s *State) []bool {
 		}
 	}
 	if len(c.scratchMust) != len(n.automata) {
+		//lint:allow hot-path-alloc scratch warm-up, sized once per context; steady state reuses the mask
 		c.scratchMust = make([]bool, len(n.automata))
 	}
 	out := c.scratchMust
