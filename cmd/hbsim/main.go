@@ -6,9 +6,15 @@
 //	hbsim -exp overhead
 //	hbsim -exp detection -trials 200
 //	hbsim -exp reliability -trials 400
+//	hbsim -exp topo -trials 70
 //	hbsim -exp all
 //	hbsim -faults 'crash t=200 node=1; restart t=800 node=1' -trials 50
 //	hbsim -faults campaign.txt
+//
+// -exp topo runs the adaptive topology campaigns (rack-correlated loss,
+// asymmetric WAN latency, churn storm) with piecewise conformance
+// checking attached: every retune is confirmed against its envelope
+// level and the run fails on any unconfirmed divergence.
 package main
 
 import (
@@ -16,9 +22,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/faults"
+	"repro/internal/models"
 	"repro/internal/netem"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -26,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: overhead, detection, reliability or all")
+		exp     = flag.String("exp", "all", "experiment: overhead, detection, reliability, topo or all")
 		trials  = flag.Int("trials", 200, "Monte-Carlo trials per data point")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		sched   = flag.String("faults", "", "fault campaign: a schedule file path or an inline schedule (see internal/faults)")
@@ -52,6 +60,8 @@ func main() {
 		err = detection(*trials, *seed)
 	case *exp == "reliability":
 		err = reliability(*trials, *seed)
+	case *exp == "topo":
+		err = topo(*trials, *seed)
 	case *exp == "all":
 		if err = overhead(); err == nil {
 			if err = detection(*trials, *seed); err == nil {
@@ -194,6 +204,66 @@ func detection(trials int, seed int64) error {
 			return fmt.Errorf("tmax=%d: %d crashes undetected", cfg.tmax, res.Missed)
 		}
 		fmt.Printf("%8d %8d %10d %43s\n", cfg.tmax, cfg.tmin, res.Bound, res.Delays.Describe())
+	}
+	fmt.Println()
+	return nil
+}
+
+// topo: D — adaptive topology campaigns under correlated failure, with
+// piecewise conformance checking. Mirrors the TestTopologyCampaign* /
+// TestChaosSmoke gates in internal/scenario at CLI-selectable scale.
+func topo(trials int, seed int64) error {
+	env := models.Envelope{TMinLo: 2, TMinHi: 2, TMaxLo: 4, TMaxHi: 8}
+	fmt.Println("== D: adaptive topology campaigns (envelope tmin=2, tmax 4..8), piecewise conformance")
+	fmt.Printf("%22s %9s %3s %8s %10s %10s %10s %10s %12s\n",
+		"scenario", "variant", "n", "retunes", "saturated", "confirmed", "degraded", "dropped", "unconfirmed")
+	for _, tc := range []struct {
+		variant  models.Variant
+		n        int
+		scenario func(int) (scenario.TopologyScenario, error)
+	}{
+		{models.Static, 2, scenario.RackLossScenario},
+		{models.Expanding, 1, scenario.WANDelayScenario},
+		{models.Dynamic, 1, scenario.ChurnStormScenario},
+	} {
+		sc, err := tc.scenario(tc.n)
+		if err != nil {
+			return err
+		}
+		tmin, tmax := env.Point(0)
+		res, err := scenario.RunCampaign(scenario.CampaignConfig{
+			Cluster: detector.ClusterConfig{
+				Adaptive: &core.AdaptiveOptions{
+					Envelope: core.Envelope{
+						TMinLo: core.Tick(env.TMinLo), TMinHi: core.Tick(env.TMinHi),
+						TMaxLo: core.Tick(env.TMaxLo), TMaxHi: core.Tick(env.TMaxHi),
+					},
+					Window: 2, WidenAt: 0.25, TightenAt: 0.1, HoldRounds: 4,
+				},
+				AllowRejoin: tc.variant == models.Dynamic,
+			},
+			Schedule: sc.Schedule,
+			Horizon:  1200,
+			Trials:   trials,
+			Seed:     seed,
+			Conform: &conform.CampaignCheck{
+				Model:    models.Config{TMin: tmin, TMax: tmax, Variant: tc.variant, N: tc.n, Fixed: true},
+				Envelope: &env,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%22s %9s %3d %8d %10d %10d %10d %10d %12d\n",
+			sc.Name, tc.variant, tc.n, res.Retunes, res.Saturations,
+			res.ConfirmedDivergences, res.DegradedDivergences,
+			res.Faults.DroppedLoss, len(res.Divergences))
+		if len(res.Divergences) > 0 {
+			if err := res.Divergences[0].Render(os.Stderr, "unconfirmed divergence"); err != nil {
+				return err
+			}
+			return fmt.Errorf("%s: %d unconfirmed divergences", sc.Name, len(res.Divergences))
+		}
 	}
 	fmt.Println()
 	return nil

@@ -100,6 +100,23 @@ func newChecker(sp *Spec) *checker {
 	return c
 }
 
+// newCheckerAll seeds the frontier with every state of the specification.
+// The piecewise checker uses it after a confirmed divergence (a retune or
+// a by-design non-model event): the runtime's exact model state is no
+// longer known, so the suffix is checked against every possible
+// continuation — an over-approximation that can only under-report, never
+// fabricate, further divergences.
+func newCheckerAll(sp *Spec) *checker {
+	c := &checker{sp: sp, mark: make([]int32, sp.NumStates)}
+	c.gen++
+	c.cur = make([]int32, sp.NumStates)
+	for s := range c.cur {
+		c.cur[s] = int32(s)
+		c.mark[s] = c.gen
+	}
+	return c
+}
+
 // closure extends set (whose members are marked with the current
 // generation) with everything reachable by tau steps, in place.
 func (c *checker) closure(set []int32) []int32 {

@@ -36,6 +36,13 @@
 // restart has no model counterpart. Their events carry honest non-model
 // labels, so a trace containing them is reported as divergent rather than
 // silently accepted.
+//
+// Adaptive clusters retune their timing constants inside a verified
+// envelope; no single model covers such a run. CampaignCheck.
+// CheckTraceAdaptive checks those traces piecewise: each segment against
+// the specification of the envelope level in force, each retune confirmed
+// against the envelope's level set, and the by-design non-model events
+// above classified as confirmed divergences instead of failures.
 package conform
 
 import (
@@ -82,6 +89,20 @@ func labelInactivate(i int) string { return fmt.Sprintf("inactivate nv %s", pnam
 func labelCrash(i int) string { return fmt.Sprintf("crash %s", pname(i)) }
 
 const labelTimeoutP0 = "timeout p[0]"
+
+// labelRetune is the adaptive coordinator's level transition. It is not
+// part of any single model's alphabet — the piecewise checker
+// (CheckTraceAdaptive) consumes it by switching to the specification of
+// the target operating point.
+func labelRetune(tmin, tmax core.Tick) string {
+	return fmt.Sprintf("p[0]: retune to (%d,%d)", tmin, tmax)
+}
+
+// parseRetune extracts the operating point of a retune label.
+func parseRetune(label string) (tmin, tmax int32, ok bool) {
+	n, err := fmt.Sscanf(label, "p[0]: retune to (%d,%d)", &tmin, &tmax)
+	return tmin, tmax, err == nil && n == 2
+}
 
 // parseLabel matches a label against a one-verb format like
 // "crash p[%d]", extracting the process index.

@@ -103,8 +103,8 @@ func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigg
 	}
 }
 
-// addReactions records the observable actions of one machine step: sends
-// and inactivations. Suspect/Joined/Left notifications and timer
+// addReactions records the observable actions of one machine step: sends,
+// inactivations and retunes. Suspect/Joined/Left notifications and timer
 // (re)arming are not part of the model's trace alphabet — except that the
 // coordinator's round continuation is keyed off SetTimer{TimerRound},
 // because the model broadcasts "p[0]: send beat" even to an empty
@@ -140,6 +140,8 @@ func (r *Recorder) addReactions(add func(string), id netem.NodeID, tr detector.T
 				sentBeat = true
 				add(labelSendBeat(0))
 			}
+		case core.ActRetune:
+			add(labelRetune(act.TMin, act.TMax))
 		case core.ActInactivate:
 			if act.Voluntary {
 				add(labelCrash(int(id)))

@@ -55,8 +55,14 @@ type RunResult struct {
 
 // CheckSchedule reports whether a fault schedule stays within the
 // model's world: crashes, message loss, partitions and link failures map
-// onto model transitions ("crash p[i]", "lose …"), while restarts,
-// duplication, reordering and clock drift have no model counterpart.
+// onto model transitions ("crash p[i]", "lose …"), and added latency
+// rides the model's nondeterministic message transit (keep delays within
+// the round-trip bound, see RunConfig.MaxDelay). Graceful leaves and
+// rejoins are admitted too — their runtime handshake differs from the
+// model's by design, so their events carry honest non-model labels that
+// plain CheckTrace reports as divergent and the piecewise checker
+// (CheckTraceAdaptive) classifies as confirmed. Restarts, duplication,
+// reordering and clock drift have no model counterpart at all.
 func CheckSchedule(s *faults.Schedule) error {
 	if s == nil {
 		return nil
@@ -64,7 +70,8 @@ func CheckSchedule(s *faults.Schedule) error {
 	for _, e := range s.Events {
 		switch e.Kind {
 		case faults.KindCrash, faults.KindLoss, faults.KindPartition,
-			faults.KindHeal, faults.KindLinkDown, faults.KindLinkUp:
+			faults.KindHeal, faults.KindLinkDown, faults.KindLinkUp,
+			faults.KindDelay, faults.KindLeave, faults.KindRejoin:
 		default:
 			return fmt.Errorf("%w: schedule event %v has no model counterpart", ErrUnsupported, e.Kind)
 		}
@@ -159,19 +166,61 @@ func Run(rc RunConfig) (*RunResult, error) {
 
 // CampaignCheck attaches conformance checking to scenario campaigns: the
 // model configuration the cluster under test realises, plus exploration
-// options for building its LTS. The spec is built once and shared across
-// trials.
+// options for building its LTS. Specs are built once per operating point
+// and shared across trials.
 type CampaignCheck struct {
 	Model models.Config
-	Opts  mc.Options
+	// Envelope, if non-nil, marks the campaign as adaptive: the runtime
+	// coordinator retunes within this envelope and traces are checked
+	// piecewise against the per-level specifications (CheckTraceAdaptive).
+	// Model.TMin/TMax are then overridden per level via
+	// models.Envelope.LevelConfig; the rest of Model (variant, N, Fixed)
+	// still shapes every level.
+	Envelope *models.Envelope
+	Opts     mc.Options
 
-	once sync.Once
-	spec *Spec
-	err  error
+	mu    sync.Mutex
+	specs map[int]levelSpec
 }
 
-// Spec returns the (lazily built, cached) specification.
-func (c *CampaignCheck) Spec() (*Spec, error) {
-	c.once.Do(func() { c.spec, c.err = BuildSpec(c.Model, c.Opts) })
-	return c.spec, c.err
+type levelSpec struct {
+	sp  *Spec
+	err error
+}
+
+// baseLevel keys the non-envelope specification (the Model as given).
+const baseLevel = -1
+
+// Spec returns the (lazily built, cached) specification of the base
+// model configuration.
+func (c *CampaignCheck) Spec() (*Spec, error) { return c.specAt(baseLevel) }
+
+// SpecAt returns the (lazily built, cached) specification of one
+// envelope level. It requires Envelope to be set.
+func (c *CampaignCheck) SpecAt(level int) (*Spec, error) {
+	if c.Envelope == nil {
+		return nil, fmt.Errorf("%w: SpecAt without an envelope", ErrUnsupported)
+	}
+	if level < 0 || level >= c.Envelope.Levels() {
+		return nil, fmt.Errorf("%w: envelope has no level %d", ErrUnsupported, level)
+	}
+	return c.specAt(level)
+}
+
+func (c *CampaignCheck) specAt(level int) (*Spec, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.specs[level]; ok {
+		return e.sp, e.err
+	}
+	cfg := c.Model
+	if level != baseLevel {
+		cfg = c.Envelope.LevelConfig(c.Model, level)
+	}
+	sp, err := BuildSpec(cfg, c.Opts)
+	if c.specs == nil {
+		c.specs = make(map[int]levelSpec, 4)
+	}
+	c.specs[level] = levelSpec{sp: sp, err: err}
+	return sp, err
 }

@@ -152,6 +152,39 @@ func (c *Coordinator) removeOrdered(id ProcID) {
 // Status implements Machine.
 func (c *Coordinator) Status() Status { return c.status }
 
+// Retune moves the coordinator to a new (tmin, tmax) operating point. It
+// is meant to be called at a round boundary, before OnTimer processes the
+// round: every member's waiting budget is reset to the new tmax and its
+// rcvd flag raised, so the round in progress becomes a grace round at the
+// new point — the adaptive variant widens instead of false-confirming a
+// suspicion formed under constants it has just abandoned. The current
+// round timer is left running; the next SetTimer picks up the new pace.
+func (c *Coordinator) Retune(tmin, tmax Tick) error {
+	if err := (Config{TMin: tmin, TMax: tmax}).Validate(); err != nil {
+		return err
+	}
+	c.cfg.TMin, c.cfg.TMax = tmin, tmax
+	c.t = tmax
+	for _, m := range c.members {
+		m.tm = tmax
+		m.rcvd = true
+	}
+	return nil
+}
+
+// roundObservation reports the coordinator's view of the closing round:
+// how many members it counted on and how many failed to reply. Meaningful
+// immediately before OnTimer(TimerRound), which clears the rcvd flags.
+func (c *Coordinator) roundObservation() (members, missed int) {
+	for _, pid := range c.order {
+		members++
+		if !c.members[pid].rcvd {
+			missed++
+		}
+	}
+	return members, missed
+}
+
 // RoundLength returns the current waiting time t.
 func (c *Coordinator) RoundLength() Tick { return c.t }
 

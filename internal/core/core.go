@@ -145,6 +145,11 @@ const (
 	// itself; Suspect additionally exposes which process triggered it,
 	// which downstream failure detectors need.
 	ActSuspect
+	// ActRetune reports that an adaptive coordinator moved its timing
+	// constants to a new operating point (TMin, TMax) within its
+	// envelope. Runtimes surface it so supervisors can enter degraded
+	// mode and conformance checkers can switch model level.
+	ActRetune
 )
 
 // String implements fmt.Stringer.
@@ -164,6 +169,8 @@ func (k ActionKind) String() string {
 		return "left"
 	case ActSuspect:
 		return "suspect"
+	case ActRetune:
+		return "retune"
 	default:
 		return fmt.Sprintf("ActionKind(%d)", int(k))
 	}
@@ -189,6 +196,8 @@ type Action struct {
 	Voluntary bool
 	// Proc accompanies ActSuspect.
 	Proc ProcID
+	// TMin and TMax accompany ActRetune: the new operating point.
+	TMin, TMax Tick
 }
 
 // SendBeat requests transmission of b to process to.
@@ -215,6 +224,11 @@ func Left() Action { return Action{Kind: ActLeft} }
 
 // Suspect reports that proc is suspected down.
 func Suspect(proc ProcID) Action { return Action{Kind: ActSuspect, Proc: proc} }
+
+// RetuneAction reports a move to the operating point (tmin, tmax).
+func RetuneAction(tmin, tmax Tick) Action {
+	return Action{Kind: ActRetune, TMin: tmin, TMax: tmax}
+}
 
 // Machine is the event interface shared by every protocol role.
 //

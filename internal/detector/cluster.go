@@ -52,6 +52,13 @@ type ClusterConfig struct {
 	// N is the number of participants (ignored for ProtocolBinary,
 	// which always has exactly one).
 	N int
+	// Adaptive, if non-nil, runs the adaptive variant: the coordinator
+	// retunes Core.TMin/TMax within Adaptive.Envelope from observed loss
+	// (Core's own TMin/TMax are ignored — the run starts at the
+	// envelope's level-0 point), and every participant runs at the
+	// envelope's worst-case watchdog configuration, which is sound at all
+	// levels (see core.Envelope.ResponderConfig).
+	Adaptive *core.AdaptiveOptions
 	// Link is the default unidirectional link shape. To honour the
 	// papers' round-trip bound, keep MaxDelay at or below tmin/2 per
 	// direction (zero-delay links are always safe).
@@ -110,8 +117,9 @@ type Cluster struct {
 
 // Compile-time wiring checks: a cluster is a complete fault-schedule target.
 var (
-	_ faults.NodeControl  = (*Cluster)(nil)
-	_ faults.ClockControl = (*Cluster)(nil)
+	_ faults.NodeControl   = (*Cluster)(nil)
+	_ faults.ClockControl  = (*Cluster)(nil)
+	_ faults.MemberControl = (*Cluster)(nil)
 )
 
 // NewCluster builds and wires a cluster; Start must still be called.
@@ -121,6 +129,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("%w: cluster needs at least one participant", ErrNodeConfig)
+	}
+	if cfg.Adaptive != nil {
+		if err := cfg.Adaptive.Validate(); err != nil {
+			return nil, err
+		}
+		// The envelope supplies the timing constants; fill Core with the
+		// starting point so the config validates and non-adaptive
+		// derivations (bounds, link-delay sanity) see real values.
+		cfg.Core.TMin, cfg.Core.TMax = cfg.Adaptive.Envelope.Point(0)
 	}
 	if err := cfg.Core.Validate(); err != nil {
 		return nil, err
@@ -239,7 +256,13 @@ func newCoordinatorMachine(cfg ClusterConfig) (core.Machine, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown protocol %d", ErrNodeConfig, int(cfg.Protocol))
 	}
-	m, err := core.NewCoordinator(cc)
+	var m core.Machine
+	var err error
+	if cfg.Adaptive != nil {
+		m, err = core.NewAdaptiveCoordinator(cc, *cfg.Adaptive)
+	} else {
+		m, err = core.NewCoordinator(cc)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +270,9 @@ func newCoordinatorMachine(cfg ClusterConfig) (core.Machine, error) {
 }
 
 func newParticipantMachine(cfg ClusterConfig, pid core.ProcID) (core.Machine, error) {
+	if cfg.Adaptive != nil {
+		cfg.Core = cfg.Adaptive.Envelope.ResponderConfig(cfg.Core)
+	}
 	var m core.Machine
 	var err error
 	switch cfg.Protocol {
@@ -281,6 +307,7 @@ func (c *Cluster) Start() error {
 			Transport: c.Faults,
 			Nodes:     c,
 			Clocks:    c,
+			Members:   c,
 			OnError: func(e faults.Event, err error) {
 				c.faultErrMu.Lock()
 				defer c.faultErrMu.Unlock()
@@ -363,6 +390,26 @@ func (c *Cluster) RestartNode(id netem.NodeID) error {
 		return err
 	}
 	return n.Restart(m)
+}
+
+// LeaveNode implements faults.MemberControl: the member announces a
+// graceful departure (dynamic participants only).
+func (c *Cluster) LeaveNode(id netem.NodeID) error {
+	n, err := c.node(id)
+	if err != nil {
+		return err
+	}
+	return n.Leave()
+}
+
+// RejoinNode implements faults.MemberControl: a departed member re-enters
+// the protocol (dynamic participants with rejoin enabled only).
+func (c *Cluster) RejoinNode(id netem.NodeID) error {
+	n, err := c.node(id)
+	if err != nil {
+		return err
+	}
+	return n.Rejoin()
 }
 
 // SetDrift implements faults.ClockControl.

@@ -103,6 +103,9 @@ const (
 	EventPanic
 	// EventGaveUp: the Supervisor exhausted the node's restart budget.
 	EventGaveUp
+	// EventRetuned: an adaptive coordinator moved its timing constants to
+	// a new operating point (TMin, TMax) within its envelope.
+	EventRetuned
 )
 
 // String implements fmt.Stringer.
@@ -124,6 +127,8 @@ func (k EventKind) String() string {
 		return "panic"
 	case EventGaveUp:
 		return "gave-up"
+	case EventRetuned:
+		return "retuned"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -139,6 +144,8 @@ type Event struct {
 	// Voluntary distinguishes a crash from a protocol decision for
 	// EventInactivated.
 	Voluntary bool
+	// TMin and TMax carry the new operating point for EventRetuned.
+	TMin, TMax core.Tick
 }
 
 // EventSink receives events. Implementations must be safe for the
@@ -420,8 +427,9 @@ func (n *Node) fireTimer(id core.TimerID, gen uint64) {
 	}
 }
 
-//hbvet:noalloc
 // apply executes the machine's actions. Callers hold n.mu.
+//
+//hbvet:noalloc
 func (n *Node) apply(actions []core.Action) {
 	now := n.cfg.Clock.Now()
 	for _, act := range actions {
@@ -466,15 +474,18 @@ func (n *Node) apply(actions []core.Action) {
 			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventJoined})
 		case core.ActLeft:
 			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventLeft})
+		case core.ActRetune:
+			n.emit(Event{Time: now, Node: n.cfg.ID, Kind: EventRetuned, TMin: act.TMin, TMax: act.TMax})
 		}
 	}
 }
 
-//hbvet:noalloc
 // setSimTimer (re)arms a timer on the SimClock fast path. The simTimer's
 // closures are created once per TimerID; steady-state rearms allocate
 // nothing. Callers hold n.mu; the simulation itself is single-threaded,
 // so the closures may touch st without the lock.
+//
+//hbvet:noalloc
 func (n *Node) setSimTimer(id core.TimerID, d core.Tick) {
 	st, ok := n.simTimers[id]
 	if !ok {
@@ -509,9 +520,10 @@ func (n *Node) setSimTimer(id core.TimerID, d core.Tick) {
 	st.tm = tm
 }
 
-//hbvet:noalloc
 // fireSimTimer delivers a timer expiry to the machine on the SimClock
 // fast path.
+//
+//hbvet:noalloc
 func (n *Node) fireSimTimer(id core.TimerID) {
 	n.mu.Lock()
 	//lint:allow hot-path-alloc closure does not escape runGuarded (called inline, not retained), so it stays on the stack

@@ -99,13 +99,25 @@ type SupervisorConfig struct {
 	RestartCrashed bool
 	// Seed drives the backoff jitter.
 	Seed int64
+	// Envelope, if non-nil, enables envelope-aware backoff for adaptive
+	// clusters: while the coordinator's last EventRetuned point sits above
+	// the envelope floor (TMax > Envelope.TMaxLo), the network is known to
+	// be losing beats, so every scheduled restart delay is stretched by
+	// DegradedFactor — a node restarted into a live partition would only
+	// be suspected again, and tight restart pacing turns that into a
+	// restart storm.
+	Envelope *core.Envelope
+	// DegradedFactor multiplies restart backoff while degraded
+	// (default 4; only meaningful with Envelope set).
+	DegradedFactor int
 }
 
 // supervised is the per-node bookkeeping.
 type supervised struct {
 	node     *Node
 	factory  func() (core.Machine, error)
-	restarts int
+	restarts int  // lifetime total, counts against MaxRestarts
+	attempt  int  // backoff exponent; reset to 0 by a clean rejoin
 	pending  bool // a restart is scheduled
 	wedged   bool // a panic was recovered; machine state is suspect
 	gaveUp   bool
@@ -132,6 +144,39 @@ type Supervisor struct {
 	stopped  bool
 	timers   map[uint64]func() // pending cancels, keyed by timerSeq
 	timerSeq uint64
+	metrics  SupervisorMetrics
+}
+
+// SupervisorMetrics exposes the supervisor's transition counters and the
+// restart-storm guard state, so campaigns can assert "no restart thrash
+// under partition" instead of eyeballing logs.
+type SupervisorMetrics struct {
+	// Suspects counts healthy→suspected peer transitions.
+	Suspects int
+	// Confirms counts suspected→down transitions (suspicions that
+	// outlived the confirmation window uncontradicted).
+	Confirms int
+	// RestartsScheduled counts restarts armed (including ones later
+	// invalidated by Stop).
+	RestartsScheduled int
+	// RestartsHeld counts restarts whose backoff was stretched by the
+	// envelope-aware degraded guard.
+	RestartsHeld int
+	// Retunes counts EventRetuned notifications seen.
+	Retunes int
+	// Degraded reports whether the guard currently considers the
+	// coordinator widened above the envelope floor.
+	Degraded bool
+	// TMin and TMax are the coordinator's last reported operating point
+	// (zero until the first retune).
+	TMin, TMax core.Tick
+}
+
+// Metrics returns a snapshot of the supervisor's counters.
+func (s *Supervisor) Metrics() SupervisorMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
 }
 
 // NewSupervisor builds a supervisor; nodes are attached with Manage.
@@ -141,6 +186,9 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	if cfg.CheckEvery <= 0 {
 		cfg.CheckEvery = 8
+	}
+	if cfg.DegradedFactor <= 0 {
+		cfg.DegradedFactor = 4
 	}
 	return &Supervisor{
 		cfg:     cfg,
@@ -335,7 +383,15 @@ func (s *Supervisor) scheduleRestart(id netem.NodeID) {
 		return
 	}
 	sn.pending = true
-	d := s.cfg.Backoff.delay(sn.restarts, s.rng)
+	d := s.cfg.Backoff.delay(sn.attempt, s.rng)
+	s.metrics.RestartsScheduled++
+	if s.metrics.Degraded {
+		// Restart-storm guard: under a degraded (widened) envelope the
+		// restarted node is likely to be suspected again; pace restarts
+		// well below the loss episode's timescale.
+		d *= core.Tick(s.cfg.DegradedFactor)
+		s.metrics.RestartsHeld++
+	}
 	s.mu.Unlock()
 	s.after(d, func() { s.restartNow(id) })
 }
@@ -366,6 +422,7 @@ func (s *Supervisor) restartNow(id netem.NodeID) {
 	s.mu.Lock()
 	sn.pending = false
 	sn.restarts++
+	sn.attempt++
 	if restartErr == nil {
 		sn.wedged = false
 		// A restarted process is a fresh incarnation; forget old
@@ -395,9 +452,30 @@ func (s *Supervisor) HandleEvent(e Event) {
 	case EventSuspect:
 		s.noteSuspect(e)
 	case EventJoined:
-		// The node itself (re)joined: it is alive, clear opinions of it.
+		// The node itself (re)joined: it is alive, clear opinions of it,
+		// and let its restart backoff start over — a clean rejoin ends
+		// the failure episode the exponent was counting.
 		s.clearPeer(core.ProcID(e.Node))
+		s.mu.Lock()
+		if sn, ok := s.nodes[e.Node]; ok {
+			sn.attempt = 0
+		}
+		s.mu.Unlock()
+	case EventRetuned:
+		s.noteRetune(e)
 	}
+}
+
+// noteRetune tracks the adaptive coordinator's operating point for the
+// envelope-aware restart guard.
+func (s *Supervisor) noteRetune(e Event) {
+	s.mu.Lock()
+	s.metrics.Retunes++
+	s.metrics.TMin, s.metrics.TMax = e.TMin, e.TMax
+	if s.cfg.Envelope != nil {
+		s.metrics.Degraded = e.TMax > s.cfg.Envelope.TMaxLo
+	}
+	s.mu.Unlock()
 }
 
 func (s *Supervisor) noteSuspect(e Event) {
@@ -407,6 +485,7 @@ func (s *Supervisor) noteSuspect(e Event) {
 		return // already suspected or down
 	}
 	s.peers[e.Proc] = PeerSuspected
+	s.metrics.Suspects++
 	s.peerGen[e.Proc]++
 	gen := s.peerGen[e.Proc]
 	wait := s.cfg.ConfirmAfter
@@ -425,6 +504,7 @@ func (s *Supervisor) confirmDown(e Event, gen uint64) {
 		return // contradicted (rejoin/restart) in the meantime
 	}
 	s.peers[e.Proc] = PeerDown
+	s.metrics.Confirms++
 	s.mu.Unlock()
 	s.emit(Event{Time: s.cfg.Clock.Now(), Node: e.Node, Kind: EventDown, Proc: e.Proc})
 }

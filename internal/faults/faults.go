@@ -6,7 +6,8 @@
 // repository needs a first-class way to script a reproducible fault
 // campaign. A Schedule is an ordered list of timed fault events (node
 // crash/restart, unidirectional and full partitions, bursty Gilbert–Elliott
-// loss, duplication, reordering, per-node clock drift). Applying the same
+// loss, duplication, reordering, asymmetric link latency, membership churn,
+// per-node clock drift). Applying the same
 // schedule with the same seed replays identically, whether the transport
 // underneath is the virtual-time netem.Network, the wall-clock
 // netem.RealNetwork, or real UDP sockets: all three are wrapped by the
@@ -63,6 +64,18 @@ const (
 	// tick and applies a one-off skew jump of Skew ticks (ClockControl
 	// required).
 	KindDrift
+	// KindDelay adds a uniform MinDelay..MaxDelay extra latency to every
+	// surviving message on the From→To link, or on every link when
+	// AllLinks is set. Unlike KindReorder it is unconditional, so a
+	// one-directional delay models asymmetric WAN latency. MinDelay =
+	// MaxDelay = 0 clears the delay.
+	KindDelay
+	// KindLeave makes a member voluntarily leave the protocol via
+	// MemberControl — the clean half of churn, as opposed to KindCrash.
+	KindLeave
+	// KindRejoin brings a departed member back via MemberControl with a
+	// fresh machine, modelling churn re-arrival.
+	KindRejoin
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +101,12 @@ func (k Kind) String() string {
 		return "reorder"
 	case KindDrift:
 		return "drift"
+	case KindDelay:
+		return "delay"
+	case KindLeave:
+		return "leave"
+	case KindRejoin:
+		return "rejoin"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -111,7 +130,11 @@ type Event struct {
 	GE *GilbertElliott
 	// Prob is the probability for KindDup/KindReorder.
 	Prob float64
-	// MaxDelay bounds the extra delay of reordered messages (ticks).
+	// MinDelay is the lower bound of the extra latency for KindDelay
+	// (ticks).
+	MinDelay sim.Time
+	// MaxDelay bounds the extra delay of reordered messages and the extra
+	// latency of KindDelay (ticks).
 	MaxDelay sim.Time
 	// Num/Den is the clock rate for KindDrift (local ticks per tick).
 	Num, Den int64
@@ -154,6 +177,18 @@ func (e Event) validate() error {
 		if e.Num <= 0 || e.Den <= 0 {
 			return fmt.Errorf("%w: drift rate %d/%d must be positive", ErrSchedule, e.Num, e.Den)
 		}
+	case KindDelay:
+		if e.MinDelay < 0 {
+			return fmt.Errorf("%w: delay lower bound %d negative", ErrSchedule, e.MinDelay)
+		}
+		if e.MaxDelay < e.MinDelay {
+			return fmt.Errorf("%w: delay bounds inverted: %d..%d", ErrSchedule, e.MinDelay, e.MaxDelay)
+		}
+		if !e.AllLinks && e.From == e.To {
+			return fmt.Errorf("%w: delay on self-link %d→%d", ErrSchedule, e.From, e.To)
+		}
+	case KindLeave, KindRejoin:
+		// Node may be any registered ID; nothing further to check.
 	default:
 		return fmt.Errorf("%w: unknown kind %d", ErrSchedule, int(e.Kind))
 	}
@@ -205,13 +240,24 @@ type ClockControl interface {
 	SetDrift(id netem.NodeID, num, den int64, skew core.Tick) error
 }
 
+// MemberControl lets a schedule drive clean membership churn — voluntary
+// leaves and rejoins, as opposed to NodeControl's crashes and restarts.
+// detector.Cluster implements it for the dynamic protocol variants.
+type MemberControl interface {
+	// LeaveNode makes the member announce a voluntary leave.
+	LeaveNode(id netem.NodeID) error
+	// RejoinNode brings a departed member back with a fresh machine.
+	RejoinNode(id netem.NodeID) error
+}
+
 // Target binds a schedule to the things it manipulates. Transport is
-// required; Nodes and Clocks are optional (see the Kind docs for the
-// fallback behaviour).
+// required; Nodes, Clocks and Members are optional (see the Kind docs for
+// the fallback behaviour).
 type Target struct {
 	Transport *FaultableTransport
 	Nodes     NodeControl
 	Clocks    ClockControl
+	Members   MemberControl
 	// OnError, if non-nil, observes control actions that fail at fire
 	// time (e.g. crashing a node the cluster does not have). A schedule
 	// fires asynchronously and has no caller to return an error to, so
@@ -240,6 +286,9 @@ func (s *Schedule) Apply(tick netem.Ticker, tgt Target) (cancel func(), err erro
 		}
 		if e.Kind == KindRestart && tgt.Nodes == nil {
 			return nil, fmt.Errorf("%w: event %d: restart needs a NodeControl", ErrSchedule, i)
+		}
+		if (e.Kind == KindLeave || e.Kind == KindRejoin) && tgt.Members == nil {
+			return nil, fmt.Errorf("%w: event %d: %v needs a MemberControl", ErrSchedule, i, e.Kind)
 		}
 	}
 	// Arm in time order so that same-tick events fire in schedule order
@@ -306,6 +355,20 @@ func applyEvent(e Event, tgt Target) {
 	case KindDrift:
 		if tgt.Clocks != nil {
 			fail(tgt.Clocks.SetDrift(e.Node, e.Num, e.Den, e.Skew))
+		}
+	case KindDelay:
+		if e.AllLinks {
+			ft.SetDelay(e.MinDelay, e.MaxDelay)
+		} else {
+			ft.SetLinkDelay(e.From, e.To, e.MinDelay, e.MaxDelay)
+		}
+	case KindLeave:
+		if tgt.Members != nil {
+			fail(tgt.Members.LeaveNode(e.Node))
+		}
+	case KindRejoin:
+		if tgt.Members != nil {
+			fail(tgt.Members.RejoinNode(e.Node))
 		}
 	}
 }

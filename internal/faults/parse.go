@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -27,10 +28,30 @@ import (
 //	dup       t=0 prob=0.05
 //	reorder   t=0 prob=0.1 maxdelay=3
 //	drift     t=0 node=2 rate=102/100 skew=5
+//	delay     t=0 from=0 to=1 mindelay=2 maxdelay=4
+//	leave     t=100 node=2
+//	rejoin    t=300 node=2
+//
+// A topo directive places nodes into racks and racks into zones; the
+// topology directives after it expand to the primitive events above at
+// parse time (Format renders the expansion, so round trips still hold):
+//
+//	topo      racks=0:0,1:0,2:1,3:1 zones=1:1
+//	rackfail  t=100 rack=1            # linkdown on every boundary link
+//	rackheal  t=300 rack=1
+//	rackloss  t=100 rack=1 pgb=0.1 pbg=0.5 lb=0.9   # no GE fields clears
+//	zonedelay t=50 from=0 to=1 mindelay=2 maxdelay=4 # one direction only
+//	churn     t=100 stagger=10 down=40 nodes=1,2,3
 //
 // Omitted Gilbert–Elliott fields default to zero, matching the struct.
+//
+// ParseSchedule additionally rejects overlapping fault windows: a
+// partition of an already-partitioned node, a linkdown of a link that is
+// already down, or a heal/linkup without a matching opener is an error
+// rather than a silently collapsed window.
 func ParseSchedule(text string) (*Schedule, error) {
 	s := &Schedule{}
+	var topo *Topology
 	lines := strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' })
 	for li, raw := range lines {
 		line := raw
@@ -42,7 +63,8 @@ func ParseSchedule(text string) (*Schedule, error) {
 			continue
 		}
 		kindWord, args := strings.ToLower(fields[0]), fields[1:]
-		if kindWord == "seed" {
+		switch kindWord {
+		case "seed":
 			if len(args) != 1 {
 				return nil, fmt.Errorf("%w: line %d: seed takes one value", ErrSchedule, li+1)
 			}
@@ -51,6 +73,20 @@ func ParseSchedule(text string) (*Schedule, error) {
 				return nil, fmt.Errorf("%w: line %d: bad seed %q", ErrSchedule, li+1, args[0])
 			}
 			s.Seed = v
+			continue
+		case "topo":
+			t, err := parseTopo(args)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", li+1, err)
+			}
+			topo = t
+			continue
+		case "rackfail", "rackheal", "rackloss", "zonedelay", "churn":
+			evs, err := expandTopo(topo, kindWord, args)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", li+1, err)
+			}
+			s.Events = append(s.Events, evs...)
 			continue
 		}
 		ev, err := parseEvent(kindWord, args)
@@ -62,7 +98,225 @@ func ParseSchedule(text string) (*Schedule, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if err := checkWindows(s); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// parseTopo parses "topo racks=node:rack,... [zones=rack:zone,...]".
+func parseTopo(args []string) (*Topology, error) {
+	t := &Topology{Racks: map[netem.NodeID]int{}, Zones: map[int]int{}}
+	for _, arg := range args {
+		key, val, found := strings.Cut(arg, "=")
+		if !found {
+			return nil, fmt.Errorf("%w: expected key=value, got %q", ErrSchedule, arg)
+		}
+		switch strings.ToLower(key) {
+		case "racks":
+			for _, pair := range strings.Split(val, ",") {
+				ns, rs, ok := strings.Cut(pair, ":")
+				if !ok {
+					return nil, fmt.Errorf("%w: racks wants node:rack pairs, got %q", ErrSchedule, pair)
+				}
+				n, err1 := strconv.Atoi(ns)
+				r, err2 := strconv.Atoi(rs)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("%w: bad racks pair %q", ErrSchedule, pair)
+				}
+				t.Racks[netem.NodeID(n)] = r
+			}
+		case "zones":
+			for _, pair := range strings.Split(val, ",") {
+				rs, zs, ok := strings.Cut(pair, ":")
+				if !ok {
+					return nil, fmt.Errorf("%w: zones wants rack:zone pairs, got %q", ErrSchedule, pair)
+				}
+				r, err1 := strconv.Atoi(rs)
+				z, err2 := strconv.Atoi(zs)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("%w: bad zones pair %q", ErrSchedule, pair)
+				}
+				t.Zones[r] = z
+			}
+		default:
+			return nil, fmt.Errorf("%w: topo does not take field %q", ErrSchedule, key)
+		}
+	}
+	return t, t.Validate()
+}
+
+// topoKeys lists the fields each topology directive understands.
+var topoKeys = map[string]string{
+	"rackfail":  " rack ",
+	"rackheal":  " rack ",
+	"rackloss":  " rack pgb pbg lg lb ",
+	"zonedelay": " from to mindelay maxdelay ",
+	"churn":     " stagger down nodes ",
+}
+
+// expandTopo expands one topology directive into primitive events.
+func expandTopo(topo *Topology, kindWord string, args []string) ([]Event, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("%w: %s needs a prior topo directive", ErrSchedule, kindWord)
+	}
+	var (
+		at         = sim.Time(-1)
+		rack       int
+		fromZ, toZ int
+		minD, maxD sim.Time
+		stagger    sim.Time
+		down       sim.Time
+		nodes      []netem.NodeID
+		ge         GilbertElliott
+		haveGE     bool
+	)
+	for _, arg := range args {
+		key, val, found := strings.Cut(arg, "=")
+		if !found {
+			return nil, fmt.Errorf("%w: expected key=value, got %q", ErrSchedule, arg)
+		}
+		key = strings.ToLower(key)
+		if key != "t" && key != "at" && !strings.Contains(topoKeys[kindWord], " "+key+" ") {
+			return nil, fmt.Errorf("%w: %s does not take field %q", ErrSchedule, kindWord, key)
+		}
+		var intDst *sim.Time
+		switch key {
+		case "t", "at":
+			intDst = &at
+		case "mindelay":
+			intDst = &minD
+		case "maxdelay":
+			intDst = &maxD
+		case "stagger":
+			intDst = &stagger
+		case "down":
+			intDst = &down
+		}
+		switch key {
+		case "t", "at", "mindelay", "maxdelay", "stagger", "down":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad %s %q", ErrSchedule, key, val)
+			}
+			*intDst = sim.Time(v)
+		case "rack", "from", "to":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad %s %q", ErrSchedule, key, val)
+			}
+			switch key {
+			case "rack":
+				rack = v
+			case "from":
+				fromZ = v
+			case "to":
+				toZ = v
+			}
+		case "nodes":
+			for _, ns := range strings.Split(val, ",") {
+				n, err := strconv.Atoi(ns)
+				if err != nil {
+					return nil, fmt.Errorf("%w: bad node %q in nodes", ErrSchedule, ns)
+				}
+				nodes = append(nodes, netem.NodeID(n))
+			}
+		case "pgb", "pbg", "lg", "lb":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad %s %q", ErrSchedule, key, val)
+			}
+			haveGE = true
+			switch key {
+			case "pgb":
+				ge.PGoodBad = v
+			case "pbg":
+				ge.PBadGood = v
+			case "lg":
+				ge.LossGood = v
+			case "lb":
+				ge.LossBad = v
+			}
+		}
+	}
+	if at < 0 {
+		return nil, fmt.Errorf("%w: %s needs t=<time>", ErrSchedule, kindWord)
+	}
+	var evs []Event
+	switch kindWord {
+	case "rackfail":
+		evs = topo.RackFail(at, rack)
+	case "rackheal":
+		evs = topo.RackHeal(at, rack)
+	case "rackloss":
+		var g *GilbertElliott
+		if haveGE {
+			g = &ge
+		}
+		evs = topo.RackLoss(at, rack, g)
+	case "zonedelay":
+		evs = topo.ZoneDelay(at, fromZ, toZ, minD, maxD)
+	case "churn":
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("%w: churn needs nodes=<id,...>", ErrSchedule)
+		}
+		evs = ChurnStorm(at, stagger, down, nodes)
+	}
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("%w: %s expands to no events (empty fault domain)", ErrSchedule, kindWord)
+	}
+	return evs, nil
+}
+
+// checkWindows rejects overlapping fault windows: opening a window that
+// is already open (double partition, double linkdown) or closing one that
+// is not. A heal that silently collapses two overlapping windows used to
+// reopen connectivity an outer window still claims; now it is a parse
+// error. Checking lives here rather than in Schedule.Validate so that
+// programmatic fault-space exploration may still build transient
+// overlapping states on purpose.
+func checkWindows(s *Schedule) error {
+	order := make([]int, len(s.Events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Events[order[a]].At < s.Events[order[b]].At
+	})
+	part := make(map[netem.NodeID]bool)
+	link := make(map[[2]netem.NodeID]bool)
+	for _, i := range order {
+		e := s.Events[i]
+		switch e.Kind {
+		case KindPartition:
+			if part[e.Node] {
+				return fmt.Errorf("%w: event %d: partition of node %d at t=%d overlaps an open partition window",
+					ErrSchedule, i, e.Node, e.At)
+			}
+			part[e.Node] = true
+		case KindHeal:
+			if !part[e.Node] {
+				return fmt.Errorf("%w: event %d: heal of node %d at t=%d without an open partition window",
+					ErrSchedule, i, e.Node, e.At)
+			}
+			part[e.Node] = false
+		case KindLinkDown:
+			key := [2]netem.NodeID{e.From, e.To}
+			if link[key] {
+				return fmt.Errorf("%w: event %d: linkdown %d→%d at t=%d overlaps an open link window",
+					ErrSchedule, i, e.From, e.To, e.At)
+			}
+			link[key] = true
+		case KindLinkUp:
+			key := [2]netem.NodeID{e.From, e.To}
+			if !link[key] {
+				return fmt.Errorf("%w: event %d: linkup %d→%d at t=%d without an open link window",
+					ErrSchedule, i, e.From, e.To, e.At)
+			}
+			link[key] = false
+		}
+	}
+	return nil
 }
 
 var kindNames = map[string]Kind{
@@ -76,6 +330,9 @@ var kindNames = map[string]Kind{
 	"dup":       KindDup,
 	"reorder":   KindReorder,
 	"drift":     KindDrift,
+	"delay":     KindDelay,
+	"leave":     KindLeave,
+	"rejoin":    KindRejoin,
 }
 
 // eventKeys lists the key=value fields each directive understands, beyond
@@ -93,6 +350,9 @@ var eventKeys = map[Kind]string{
 	KindDup:       " prob ",
 	KindReorder:   " prob maxdelay ",
 	KindDrift:     " node rate skew ",
+	KindDelay:     " from to mindelay maxdelay ",
+	KindLeave:     " node ",
+	KindRejoin:    " node ",
 }
 
 func parseEvent(kindWord string, args []string) (Event, error) {
@@ -105,7 +365,7 @@ func parseEvent(kindWord string, args []string) (Event, error) {
 	var haveGE bool
 	for _, arg := range args {
 		if strings.EqualFold(arg, "all") {
-			if kind != KindLoss {
+			if kind != KindLoss && kind != KindDelay {
 				return Event{}, fmt.Errorf("%w: %s does not take %q", ErrSchedule, kindWord, arg)
 			}
 			ev.AllLinks = true
@@ -148,12 +408,16 @@ func parseEvent(kindWord string, args []string) (Event, error) {
 				return Event{}, fmt.Errorf("%w: bad probability %q", ErrSchedule, val)
 			}
 			ev.Prob = v
-		case "maxdelay":
+		case "mindelay", "maxdelay":
 			v, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				return Event{}, fmt.Errorf("%w: bad maxdelay %q", ErrSchedule, val)
+				return Event{}, fmt.Errorf("%w: bad %s %q", ErrSchedule, key, val)
 			}
-			ev.MaxDelay = sim.Time(v)
+			if key == "mindelay" {
+				ev.MinDelay = sim.Time(v)
+			} else {
+				ev.MaxDelay = sim.Time(v)
+			}
 		case "pgb", "pbg", "lg", "lb":
 			v, err := strconv.ParseFloat(val, 64)
 			if err != nil {
@@ -231,6 +495,15 @@ func (s *Schedule) Format() string {
 			fmt.Fprintf(&b, " prob=%g maxdelay=%d", e.Prob, e.MaxDelay)
 		case KindDrift:
 			fmt.Fprintf(&b, " node=%d rate=%d/%d skew=%d", e.Node, e.Num, e.Den, e.Skew)
+		case KindDelay:
+			if e.AllLinks {
+				b.WriteString(" all")
+			} else {
+				fmt.Fprintf(&b, " from=%d to=%d", e.From, e.To)
+			}
+			fmt.Fprintf(&b, " mindelay=%d maxdelay=%d", e.MinDelay, e.MaxDelay)
+		case KindLeave, KindRejoin:
+			fmt.Fprintf(&b, " node=%d", e.Node)
 		}
 		b.WriteByte('\n')
 	}

@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Topology places the cluster's nodes into a rack/zone hierarchy so that
+// fault campaigns can express *correlated* failures — the shared-fate
+// domains a flat per-link schedule cannot: a dead top-of-rack switch cuts
+// every link crossing that rack at once, a congested WAN path delays every
+// message from one zone to another in one direction only.
+//
+// Topology is purely an expander: each helper returns ordinary primitive
+// Events (linkdown/linkup, loss, delay, leave/rejoin), so the resulting
+// Schedule still validates, formats, byte-replays and feeds the model
+// checker exactly like a hand-written one. Expansion order is sorted by
+// node ID, so the same topology always produces the same event list.
+type Topology struct {
+	// Racks maps each node to its rack number.
+	Racks map[netem.NodeID]int
+	// Zones maps each rack to its zone (availability domain / WAN region).
+	// Racks absent from the map are in zone 0.
+	Zones map[int]int
+}
+
+// Validate rejects an empty topology.
+func (t *Topology) Validate() error {
+	if len(t.Racks) == 0 {
+		return fmt.Errorf("%w: topology has no racks", ErrSchedule)
+	}
+	return nil
+}
+
+// nodes returns every placed node in ascending ID order.
+func (t *Topology) nodes() []netem.NodeID {
+	ids := make([]netem.NodeID, 0, len(t.Racks))
+	for id := range t.Racks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// zone returns the zone of a node, defaulting to 0 for unmapped racks.
+func (t *Topology) zone(id netem.NodeID) int {
+	return t.Zones[t.Racks[id]]
+}
+
+// crossRackLinks lists every directed link with exactly one endpoint in
+// rack, in ascending (from, to) order — the links a top-of-rack switch
+// failure severs.
+func (t *Topology) crossRackLinks(rack int) [][2]netem.NodeID {
+	ids := t.nodes()
+	var links [][2]netem.NodeID
+	for _, from := range ids {
+		for _, to := range ids {
+			if from == to {
+				continue
+			}
+			if (t.Racks[from] == rack) != (t.Racks[to] == rack) {
+				links = append(links, [2]netem.NodeID{from, to})
+			}
+		}
+	}
+	return links
+}
+
+// zoneLinks lists every directed link from a node in fromZone to a node
+// in toZone, in ascending order. One direction only: an asymmetric path
+// needs a second expansion with the zones swapped.
+func (t *Topology) zoneLinks(fromZone, toZone int) [][2]netem.NodeID {
+	ids := t.nodes()
+	var links [][2]netem.NodeID
+	for _, from := range ids {
+		if t.zone(from) != fromZone {
+			continue
+		}
+		for _, to := range ids {
+			if from == to || t.zone(to) != toZone {
+				continue
+			}
+			links = append(links, [2]netem.NodeID{from, to})
+		}
+	}
+	return links
+}
+
+// RackFail severs rack from the rest of the cluster at time at — a
+// top-of-rack switch death: every link crossing the rack boundary goes
+// down in both directions while intra-rack links keep working.
+func (t *Topology) RackFail(at sim.Time, rack int) []Event {
+	var evs []Event
+	for _, l := range t.crossRackLinks(rack) {
+		evs = append(evs, Event{At: at, Kind: KindLinkDown, From: l[0], To: l[1]})
+	}
+	return evs
+}
+
+// RackHeal restores the links RackFail severed.
+func (t *Topology) RackHeal(at sim.Time, rack int) []Event {
+	var evs []Event
+	for _, l := range t.crossRackLinks(rack) {
+		evs = append(evs, Event{At: at, Kind: KindLinkUp, From: l[0], To: l[1]})
+	}
+	return evs
+}
+
+// RackLoss installs ge on every link crossing the rack boundary — a
+// degrading uplink losing correlated bursts on all of the rack's traffic
+// at once. A nil ge clears the channels.
+func (t *Topology) RackLoss(at sim.Time, rack int, ge *GilbertElliott) []Event {
+	var evs []Event
+	for _, l := range t.crossRackLinks(rack) {
+		evs = append(evs, Event{At: at, Kind: KindLoss, From: l[0], To: l[1], GE: ge})
+	}
+	return evs
+}
+
+// ZoneDelay adds a uniform min..max latency band on every link from
+// fromZone to toZone at time at — one direction only, so congested or
+// asymmetric WAN paths compose from two calls. min = max = 0 clears it,
+// and scheduling several ZoneDelay expansions at different times yields
+// time-varying latency.
+func (t *Topology) ZoneDelay(at sim.Time, fromZone, toZone int, min, max sim.Time) []Event {
+	var evs []Event
+	for _, l := range t.zoneLinks(fromZone, toZone) {
+		evs = append(evs, Event{At: at, Kind: KindDelay, From: l[0], To: l[1], MinDelay: min, MaxDelay: max})
+	}
+	return evs
+}
+
+// ChurnStorm makes every given node leave and later rejoin, staggered so
+// departures overlap: node i leaves at at+i·stagger and rejoins downFor
+// ticks later. With stagger < downFor several members are out at once —
+// the mass join/leave churn the dynamic protocol variants must absorb.
+// The node list is expanded in the order given (callers wanting sorted
+// expansion pass a sorted list).
+func ChurnStorm(at, stagger, downFor sim.Time, nodes []netem.NodeID) []Event {
+	var evs []Event
+	for i, id := range nodes {
+		off := at + sim.Time(i)*stagger
+		evs = append(evs,
+			Event{At: off, Kind: KindLeave, Node: id},
+			Event{At: off + downFor, Kind: KindRejoin, Node: id},
+		)
+	}
+	return evs
+}

@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// twoRackTopo: nodes 0,1 in rack 0 (zone 0); nodes 2,3 in rack 1 (zone 1).
+func twoRackTopo() *Topology {
+	return &Topology{
+		Racks: map[netem.NodeID]int{0: 0, 1: 0, 2: 1, 3: 1},
+		Zones: map[int]int{0: 0, 1: 1},
+	}
+}
+
+func TestTopologyRackFail(t *testing.T) {
+	topo := twoRackTopo()
+	evs := topo.RackFail(100, 1)
+	// Every link with exactly one endpoint in rack 1, both directions:
+	// {0,1}×{2,3} and {2,3}×{0,1} = 8 directed links. Intra-rack links
+	// survive — that is the correlation a flat schedule cannot express.
+	if len(evs) != 8 {
+		t.Fatalf("RackFail expanded to %d events, want 8: %+v", len(evs), evs)
+	}
+	seen := make(map[[2]netem.NodeID]bool)
+	for _, e := range evs {
+		if e.Kind != KindLinkDown || e.At != 100 {
+			t.Fatalf("unexpected event %+v", e)
+		}
+		if (topo.Racks[e.From] == 1) == (topo.Racks[e.To] == 1) {
+			t.Fatalf("link %d→%d does not cross the rack boundary", e.From, e.To)
+		}
+		seen[[2]netem.NodeID{e.From, e.To}] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("duplicate links in expansion: %+v", evs)
+	}
+	heal := topo.RackHeal(300, 1)
+	if len(heal) != 8 {
+		t.Fatalf("RackHeal expanded to %d events, want 8", len(heal))
+	}
+	for i, e := range heal {
+		if e.Kind != KindLinkUp || e.From != evs[i].From || e.To != evs[i].To {
+			t.Fatalf("heal %d does not mirror fail: %+v vs %+v", i, e, evs[i])
+		}
+	}
+}
+
+func TestTopologyZoneDelayIsOneDirectional(t *testing.T) {
+	topo := twoRackTopo()
+	evs := topo.ZoneDelay(50, 0, 1, 2, 4)
+	// Zone 0 = {0,1}, zone 1 = {2,3}: 4 directed links, one direction.
+	if len(evs) != 4 {
+		t.Fatalf("ZoneDelay expanded to %d events, want 4: %+v", len(evs), evs)
+	}
+	for _, e := range evs {
+		if e.Kind != KindDelay || e.MinDelay != 2 || e.MaxDelay != 4 {
+			t.Fatalf("unexpected event %+v", e)
+		}
+		if topo.zone(e.From) != 0 || topo.zone(e.To) != 1 {
+			t.Fatalf("link %d→%d is not zone 0 → zone 1", e.From, e.To)
+		}
+	}
+}
+
+func TestTopologyRackLoss(t *testing.T) {
+	topo := twoRackTopo()
+	ge := &GilbertElliott{PGoodBad: 0.1, PBadGood: 0.5, LossBad: 0.9}
+	evs := topo.RackLoss(10, 0, ge)
+	if len(evs) != 8 {
+		t.Fatalf("RackLoss expanded to %d events, want 8", len(evs))
+	}
+	for _, e := range evs {
+		if e.Kind != KindLoss || e.GE != ge {
+			t.Fatalf("unexpected event %+v", e)
+		}
+	}
+	for _, e := range topo.RackLoss(20, 0, nil) {
+		if e.GE != nil {
+			t.Fatalf("clearing expansion kept a channel: %+v", e)
+		}
+	}
+}
+
+func TestChurnStorm(t *testing.T) {
+	evs := ChurnStorm(100, 10, 40, []netem.NodeID{1, 2, 3})
+	if len(evs) != 6 {
+		t.Fatalf("ChurnStorm expanded to %d events, want 6", len(evs))
+	}
+	// Node i leaves at 100+10i and rejoins 40 ticks later; with stagger <
+	// downFor the departures overlap.
+	for i, id := range []netem.NodeID{1, 2, 3} {
+		leave, rejoin := evs[2*i], evs[2*i+1]
+		if leave.Kind != KindLeave || leave.Node != id || leave.At != sim.Time(100+10*i) {
+			t.Fatalf("leave %d = %+v", i, leave)
+		}
+		if rejoin.Kind != KindRejoin || rejoin.Node != id || rejoin.At != leave.At+40 {
+			t.Fatalf("rejoin %d = %+v", i, rejoin)
+		}
+	}
+}
+
+func TestParseTopologySchedule(t *testing.T) {
+	text := `
+seed 9
+topo      racks=0:0,1:0,2:1,3:1 zones=1:1
+rackfail  t=100 rack=1
+rackheal  t=300 rack=1
+zonedelay t=50 from=0 to=1 mindelay=2 maxdelay=4
+churn     t=400 stagger=10 down=40 nodes=1,2
+delay     t=0 all mindelay=1 maxdelay=1
+leave     t=600 node=3
+rejoin    t=700 node=3
+`
+	s, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 fail + 8 heal + 4 delay + 4 churn + 1 delay + 1 leave + 1 rejoin.
+	if len(s.Events) != 27 {
+		t.Fatalf("parsed %d events, want 27", len(s.Events))
+	}
+	// The expansion is pure primitives, so Format round-trips without the
+	// topo directives.
+	rendered := s.Format()
+	if strings.Contains(rendered, "rackfail") || strings.Contains(rendered, "topo") {
+		t.Fatalf("Format leaked a topology directive:\n%s", rendered)
+	}
+	again, err := ParseSchedule(rendered)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", rendered, err)
+	}
+	if again.Format() != rendered {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", rendered, again.Format())
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, text := range []string{
+		"rackfail t=0 rack=1",                            // no topo directive yet
+		"topo racks=0:0 zones=0:0\nrackfail t=0 rack=0",  // no crossing links
+		"topo racks=0:0,1:1\nrackfail rack=1",            // missing time
+		"topo racks=0:0,1:1\nchurn t=0 stagger=1 down=2", // churn without nodes
+		"topo racks=zzz",                                 // bad pair
+		"topo",                                           // empty topology
+		"topo racks=0:0,1:1\nrackfail t=0 rack=1 prob=1", // field not taken
+		"delay t=0 from=0 to=0 maxdelay=2",               // self link
+		"delay t=0 from=0 to=1 mindelay=5 maxdelay=2",    // inverted bounds
+	} {
+		if _, err := ParseSchedule(text); !errors.Is(err, ErrSchedule) {
+			t.Errorf("ParseSchedule(%q) = %v, want ErrSchedule", text, err)
+		}
+	}
+}
+
+// TestParseRejectsOverlappingWindows: the parser used to silently accept
+// a partition window opened twice and collapsed by one heal; now every
+// overlapping window is an error at parse time.
+func TestParseRejectsOverlappingWindows(t *testing.T) {
+	for _, tc := range []struct {
+		name, text string
+	}{
+		{"double partition", "partition t=10 node=1\npartition t=20 node=1\nheal t=30 node=1"},
+		{"heal without partition", "heal t=10 node=1"},
+		{"double linkdown", "linkdown t=10 from=0 to=1\nlinkdown t=20 from=0 to=1"},
+		{"linkup without linkdown", "linkup t=5 from=0 to=1"},
+		{"overlapping rackfails share a boundary link",
+			"topo racks=0:0,1:1\nrackfail t=10 rack=0\nrackfail t=20 rack=1"},
+	} {
+		if _, err := ParseSchedule(tc.text); !errors.Is(err, ErrSchedule) {
+			t.Errorf("%s: err = %v, want ErrSchedule", tc.name, err)
+		}
+	}
+	// Sequential windows and a window the schedule never closes stay legal.
+	for _, text := range []string{
+		"partition t=10 node=1\nheal t=20 node=1\npartition t=30 node=1\nheal t=40 node=1",
+		"partition t=10 node=1",
+		"linkdown t=10 from=0 to=1\nlinkup t=20 from=0 to=1\nlinkdown t=30 from=1 to=0",
+	} {
+		if _, err := ParseSchedule(text); err != nil {
+			t.Errorf("ParseSchedule(%q) = %v, want nil", text, err)
+		}
+	}
+	// Schedule.Validate stays permissive: programmatic fault exploration
+	// may build overlapping states on purpose.
+	s := &Schedule{Events: []Event{
+		{At: 10, Kind: KindPartition, Node: 1},
+		{At: 20, Kind: KindPartition, Node: 1},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate rejected overlapping windows: %v", err)
+	}
+}

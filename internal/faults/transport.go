@@ -24,6 +24,8 @@ type Stats struct {
 	Duplicated uint64
 	// Delayed counts sends given an extra reordering delay.
 	Delayed uint64
+	// Slowed counts sends given extra link latency by a delay range.
+	Slowed uint64
 	// SendErrors counts errors from the wrapped transport on delayed
 	// sends, which have no caller left to report to.
 	SendErrors uint64
@@ -31,8 +33,9 @@ type Stats struct {
 
 // FaultableTransport wraps any netem.Transport and applies the mutable
 // fault state a Schedule drives: per-node crash muting and partitions,
-// per-link downs and Gilbert–Elliott loss channels, duplication, and
-// reordering. All decisions draw from one seeded random stream, so a run
+// per-link downs, Gilbert–Elliott loss channels and latency bands,
+// duplication, and reordering. All decisions draw from one seeded random
+// stream, so a run
 // over the deterministic simulator replays exactly; faults apply at send
 // time, uniformly across netem.Network, netem.RealNetwork and
 // netem.UDPTransport.
@@ -51,6 +54,8 @@ type FaultableTransport struct {
 	lossDefault *GilbertElliott
 	lossLinks   map[[2]netem.NodeID]*GilbertElliott
 	channels    map[[2]netem.NodeID]*geChannel
+	delayAll    delayRange
+	delayLinks  map[[2]netem.NodeID]delayRange
 	dupProb     float64
 	reorderProb float64
 	reorderMax  sim.Time
@@ -73,7 +78,14 @@ func Wrap(inner netem.Transport, tick netem.Ticker, seed int64) *FaultableTransp
 		linkDown:    make(map[[2]netem.NodeID]bool),
 		lossLinks:   make(map[[2]netem.NodeID]*GilbertElliott),
 		channels:    make(map[[2]netem.NodeID]*geChannel),
+		delayLinks:  make(map[[2]netem.NodeID]delayRange),
 	}
+}
+
+// delayRange is a uniform extra-latency band; the zero value means no
+// extra latency.
+type delayRange struct {
+	min, max sim.Time
 }
 
 // Register implements netem.Transport, tracking the node set so that
@@ -132,6 +144,40 @@ func (f *FaultableTransport) SetLinkLoss(from, to netem.NodeID, ge *GilbertEllio
 		f.lossLinks[key] = ge
 	}
 	delete(f.channels, key)
+}
+
+// SetDelay adds a uniform min..max extra latency to every surviving
+// message on links without a per-link override; min = max = 0 clears it.
+// Inverted or negative bounds are normalised to empty.
+func (f *FaultableTransport) SetDelay(min, max sim.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delayAll = normDelay(min, max)
+}
+
+// SetLinkDelay adds a uniform min..max extra latency on the from→to link
+// only — one direction, so an asymmetric path is two calls with different
+// bounds. min = max = 0 reverts the link to the default delay.
+func (f *FaultableTransport) SetLinkDelay(from, to netem.NodeID, min, max sim.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]netem.NodeID{from, to}
+	d := normDelay(min, max)
+	if d == (delayRange{}) {
+		delete(f.delayLinks, key)
+	} else {
+		f.delayLinks[key] = d
+	}
+}
+
+func normDelay(min, max sim.Time) delayRange {
+	if min < 0 {
+		min = 0
+	}
+	if max < min {
+		max = min
+	}
+	return delayRange{min: min, max: max}
 }
 
 // SetDuplication sets the probability that a surviving message is sent
@@ -218,12 +264,26 @@ func (f *FaultableTransport) Send(from, to netem.NodeID, payload []byte) error {
 		copies = 2
 		f.stats.Duplicated++
 	}
+	lat := f.delayAll
+	if d, ok := f.delayLinks[key]; ok {
+		lat = d
+	}
 	var delayBuf [2]sim.Time
 	delays := delayBuf[:copies]
 	for i := range delays {
 		if f.reorderProb > 0 && f.rng.Float64() < f.reorderProb {
 			delays[i] = 1 + sim.Time(f.rng.Int63n(int64(f.reorderMax)))
 			f.stats.Delayed++
+		}
+		if lat.max > 0 {
+			extra := lat.min
+			if span := int64(lat.max - lat.min); span > 0 {
+				extra += sim.Time(f.rng.Int63n(span + 1))
+			}
+			if extra > 0 {
+				delays[i] += extra
+				f.stats.Slowed++
+			}
 		}
 	}
 	f.mu.Unlock()

@@ -14,11 +14,15 @@ import (
 // analyzer catches it statically.
 //
 // Tracked locations are struct fields and package-level variables whose
-// address is passed to a sync/atomic function. Fields of the typed
-// atomic.* wrappers enforce their own discipline and need no analysis.
-// Initialisation before the location is shared is legitimately
-// non-atomic; such sites carry a //lint:allow sync-discipline
-// suppression naming why publication is safe.
+// address is passed to a sync/atomic function — directly (&c.hits) or
+// through an element (&a.ring[i], as the adaptive estimator's shared
+// window does). Element-atomic locations flag plain element accesses
+// only: len, range and slice-header assignments touch the header, not
+// the shared cells. Fields of the typed atomic.* wrappers enforce their
+// own discipline and need no analysis. Initialisation before the
+// location is shared is legitimately non-atomic; such sites carry a
+// //lint:allow sync-discipline suppression naming why publication is
+// safe.
 var AnalyzerSyncDiscipline = &Analyzer{
 	Name: "sync-discipline",
 	Doc:  "locations accessed via sync/atomic must be accessed via sync/atomic everywhere",
@@ -27,7 +31,11 @@ var AnalyzerSyncDiscipline = &Analyzer{
 
 func runSyncDiscipline(p *Pass) {
 	// Pass 1: collect locations whose address flows into sync/atomic.
+	// atomicLocs hold locations passed whole (&c.hits); atomicElems hold
+	// containers passed by element (&a.ring[i]), whose discipline covers
+	// the elements but not the container header.
 	atomicLocs := map[types.Object]bool{}
+	atomicElems := map[types.Object]bool{}
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -39,6 +47,12 @@ func runSyncDiscipline(p *Pass) {
 				if !ok || u.Op.String() != "&" {
 					continue
 				}
+				if ix, ok := ast.Unparen(u.X).(*ast.IndexExpr); ok {
+					if obj := addressableLoc(p.Info, ix.X); obj != nil {
+						atomicElems[obj] = true
+					}
+					continue
+				}
 				if obj := addressableLoc(p.Info, u.X); obj != nil {
 					atomicLocs[obj] = true
 				}
@@ -46,7 +60,7 @@ func runSyncDiscipline(p *Pass) {
 			return true
 		})
 	}
-	if len(atomicLocs) == 0 {
+	if len(atomicLocs) == 0 && len(atomicElems) == 0 {
 		return
 	}
 	// Composite-literal keys (Counter{hits: 0}) are construction, not
@@ -68,21 +82,31 @@ func runSyncDiscipline(p *Pass) {
 			return true
 		})
 	}
-	// Pass 2: flag every plain (non-atomic) access to those locations.
+	// Pass 2: flag every plain (non-atomic) access to those locations —
+	// any mention of a whole-location one, element accesses of an
+	// element-atomic one.
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok && isAtomicCall(p.Info, call) {
-				return false // accesses inside the atomic call are the point
-			}
-			id, ok := n.(*ast.Ident)
-			if !ok {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isAtomicCall(p.Info, n) {
+					return false // accesses inside the atomic call are the point
+				}
+			case *ast.IndexExpr:
+				obj := addressableLoc(p.Info, n.X)
+				if obj == nil || !atomicElems[obj] {
+					return true
+				}
+				p.Reportf(n.Pos(), "elements of %q are accessed via sync/atomic elsewhere; this plain element access races with it (use atomic, or a //lint:allow sync-discipline with the publication argument)", obj.Name())
+				return true
+			case *ast.Ident:
+				obj := p.Info.ObjectOf(n)
+				if obj == nil || !atomicLocs[obj] || obj.Pos() == n.Pos() || litKeys[n] {
+					return true
+				}
+				p.Reportf(n.Pos(), "%q is accessed via sync/atomic elsewhere; this plain access races with it (use atomic, or a //lint:allow sync-discipline with the publication argument)", obj.Name())
 				return true
 			}
-			obj := p.Info.ObjectOf(id)
-			if obj == nil || !atomicLocs[obj] || obj.Pos() == id.Pos() || litKeys[id] {
-				return true
-			}
-			p.Reportf(id.Pos(), "%q is accessed via sync/atomic elsewhere; this plain access races with it (use atomic, or a //lint:allow sync-discipline with the publication argument)", obj.Name())
 			return true
 		})
 	}

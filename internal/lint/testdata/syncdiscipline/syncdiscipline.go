@@ -44,3 +44,38 @@ func peekRacy() int64 {
 func fresh() *counters {
 	return &counters{hits: 0, misses: 0} // composite-literal construction precedes sharing
 }
+
+// window mirrors the adaptive estimator: a ring whose elements are
+// accessed through sync/atomic, so plain element accesses race — but
+// len, range and reassigning the slice header touch only the header.
+type window struct {
+	ring  []int64 // elements accessed via atomic: element access must be atomic
+	spare []int64 // never atomic: plain element access is fine
+	pos   int
+}
+
+func (w *window) record(v int64) {
+	atomic.StoreInt64(&w.ring[w.pos], v)
+	w.pos = (w.pos + 1) % len(w.ring) // header-only use of ring: no finding
+}
+
+func (w *window) sum() int64 {
+	var total int64
+	for i := range w.ring { // header-only use of ring: no finding
+		total += atomic.LoadInt64(&w.ring[i])
+	}
+	return total
+}
+
+func (w *window) peekRacy() int64 {
+	return w.ring[0] // want "elements of \"ring\" are accessed via sync/atomic elsewhere; this plain element access races"
+}
+
+func (w *window) scratch() int64 {
+	w.spare = append(w.spare, 0)
+	return w.spare[0]
+}
+
+func (w *window) grow(n int) {
+	w.ring = make([]int64, n) // header reassignment: no finding
+}

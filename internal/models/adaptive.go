@@ -1,0 +1,107 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/mc"
+)
+
+// Envelope is the model-side mirror of core.Envelope: the degradation
+// clamp of the adaptive variant, discretised into operating points by the
+// same doubling arithmetic (level 0 at (TMinLo, TMaxLo), each level
+// doubling both constants clamped at their Hi bounds). The runtime
+// coordinator only ever retunes to one of these points, so verifying
+// R1–R3 at every level verifies every configuration the adaptive variant
+// can reach; the cross-check test in adaptive_test.go pins this
+// arithmetic against core's tick-domain original.
+type Envelope struct {
+	// TMinLo and TMinHi bound tmin; 0 < TMinLo <= TMinHi.
+	TMinLo, TMinHi int32
+	// TMaxLo and TMaxHi bound tmax; TMinHi <= TMaxLo <= TMaxHi.
+	TMaxLo, TMaxHi int32
+}
+
+// Validate checks the envelope ordering constraints (same rules as
+// core.Envelope.Validate).
+func (e Envelope) Validate() error {
+	if e.TMinLo <= 0 {
+		return fmt.Errorf("%w: envelope tmin lower bound %d must be positive", ErrConfig, e.TMinLo)
+	}
+	if e.TMinHi < e.TMinLo {
+		return fmt.Errorf("%w: envelope tmin bounds inverted (%d > %d)", ErrConfig, e.TMinLo, e.TMinHi)
+	}
+	if e.TMaxLo < e.TMinHi {
+		return fmt.Errorf("%w: envelope needs TMinHi <= TMaxLo, got %d > %d", ErrConfig, e.TMinHi, e.TMaxLo)
+	}
+	if e.TMaxHi < e.TMaxLo {
+		return fmt.Errorf("%w: envelope tmax bounds inverted (%d > %d)", ErrConfig, e.TMaxLo, e.TMaxHi)
+	}
+	return nil
+}
+
+// Levels is the number of operating points: tmax doubles from TMaxLo
+// until it reaches (clamped) TMaxHi.
+func (e Envelope) Levels() int {
+	n := 1
+	for t := e.TMaxLo; t < e.TMaxHi; t *= 2 {
+		n++
+	}
+	return n
+}
+
+// Point returns the operating point of a level, clamped to the valid
+// range exactly as core.Envelope.Point.
+func (e Envelope) Point(level int) (tmin, tmax int32) {
+	if level < 0 {
+		level = 0
+	}
+	if max := e.Levels() - 1; level > max {
+		level = max
+	}
+	tmin, tmax = e.TMinLo, e.TMaxLo
+	for i := 0; i < level; i++ {
+		if tmin*2 <= e.TMinHi {
+			tmin *= 2
+		} else {
+			tmin = e.TMinHi
+		}
+		if tmax*2 <= e.TMaxHi {
+			tmax *= 2
+		} else {
+			tmax = e.TMaxHi
+		}
+	}
+	return tmin, tmax
+}
+
+// LevelConfig derives the model configuration of one envelope level: the
+// coordinator's constants are the level's operating point, while the
+// participants' watchdog stays at the envelope ceiling — the split the
+// adaptive runtime deploys (participants never learn the current level).
+func (e Envelope) LevelConfig(base Config, level int) Config {
+	base.TMin, base.TMax = e.Point(level)
+	base.WatchdogTMax = e.TMaxHi
+	return base
+}
+
+// VerifyEnvelope model-checks the given properties at every level of the
+// envelope — the closure argument for the adaptive variant: each retune
+// lands on a verified operating point, so the degradation path as a whole
+// inherits R1–R3 from its corner points and everything between.
+func VerifyEnvelope(base Config, env Envelope, props []Property, opts mc.Options) ([]Verdict, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	verdicts := make([]Verdict, 0, env.Levels()*len(props))
+	for level := 0; level < env.Levels(); level++ {
+		cfg := env.LevelConfig(base, level)
+		for _, p := range props {
+			v, err := Verify(cfg, p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("level %d: %w", level, err)
+			}
+			verdicts = append(verdicts, v)
+		}
+	}
+	return verdicts, nil
+}

@@ -1,0 +1,145 @@
+package models
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/trace"
+)
+
+// TestEnvelopeMirrorsCore pins the model-side envelope arithmetic against
+// the runtime original: every level of every envelope must agree, or the
+// verified family is not the family the coordinator retunes through.
+func TestEnvelopeMirrorsCore(t *testing.T) {
+	envs := []Envelope{
+		{TMinLo: 2, TMinHi: 2, TMaxLo: 8, TMaxHi: 64},
+		{TMinLo: 2, TMinHi: 2, TMaxLo: 4, TMaxHi: 16},
+		{TMinLo: 1, TMinHi: 4, TMaxLo: 5, TMaxHi: 40},
+		{TMinLo: 3, TMinHi: 3, TMaxLo: 3, TMaxHi: 3},
+		{TMinLo: 2, TMinHi: 6, TMaxLo: 7, TMaxHi: 100},
+	}
+	for _, env := range envs {
+		ce := core.Envelope{
+			TMinLo: core.Tick(env.TMinLo), TMinHi: core.Tick(env.TMinHi),
+			TMaxLo: core.Tick(env.TMaxLo), TMaxHi: core.Tick(env.TMaxHi),
+		}
+		if err := env.Validate(); err != nil {
+			t.Fatalf("%+v: %v", env, err)
+		}
+		if err := ce.Validate(); err != nil {
+			t.Fatalf("core %+v: %v", ce, err)
+		}
+		if env.Levels() != ce.Levels() {
+			t.Fatalf("%+v: levels %d vs core %d", env, env.Levels(), ce.Levels())
+		}
+		for level := -1; level <= env.Levels(); level++ {
+			tmin, tmax := env.Point(level)
+			ctmin, ctmax := ce.Point(level)
+			if core.Tick(tmin) != ctmin || core.Tick(tmax) != ctmax {
+				t.Fatalf("%+v level %d: point (%d,%d) vs core (%d,%d)",
+					env, level, tmin, tmax, ctmin, ctmax)
+			}
+		}
+	}
+	if err := (Envelope{TMinLo: 4, TMinHi: 2, TMaxLo: 8, TMaxHi: 8}).Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("inverted envelope accepted: %v", err)
+	}
+}
+
+func TestEnvelopeLevelConfig(t *testing.T) {
+	env := Envelope{TMinLo: 2, TMinHi: 2, TMaxLo: 4, TMaxHi: 16}
+	base := Config{Variant: Binary, N: 1, Fixed: true}
+	for level, want := range [][2]int32{{2, 4}, {2, 8}, {2, 16}} {
+		cfg := env.LevelConfig(base, level)
+		if cfg.TMin != want[0] || cfg.TMax != want[1] || cfg.WatchdogTMax != 16 {
+			t.Fatalf("level %d config = %+v", level, cfg)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("level %d config invalid: %v", level, err)
+		}
+	}
+}
+
+// TestWatchdogDecoupledBounds: participant bounds follow WatchdogTMax, the
+// R1 detection bound stays a function of the coordinator's constants.
+func TestWatchdogDecoupledBounds(t *testing.T) {
+	base := Config{TMin: 4, TMax: 10, Variant: Expanding, N: 1}
+	dec := base
+	dec.WatchdogTMax = 20
+	if dec.responderBound() != 56 || dec.joinerBound() != 56 {
+		t.Fatalf("original decoupled bounds: %d %d", dec.responderBound(), dec.joinerBound())
+	}
+	fixedDec := dec
+	fixedDec.Fixed = true
+	if fixedDec.responderBound() != 40 || fixedDec.joinerBound() != 44 {
+		t.Fatalf("fixed decoupled bounds: %d %d", fixedDec.responderBound(), fixedDec.joinerBound())
+	}
+	fixedBase := base
+	fixedBase.Fixed = true
+	if fixedDec.r1Bound() != fixedBase.r1Bound() {
+		t.Fatalf("r1 bound leaked the watchdog tmax: %d vs %d", fixedDec.r1Bound(), fixedBase.r1Bound())
+	}
+	if _, err := Build(Config{TMin: 2, TMax: 10, WatchdogTMax: 5, Variant: Binary, N: 1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("watchdog below tmax accepted: %v", err)
+	}
+}
+
+// TestVerifyEnvelopeBinary is the verification closure for the adaptive
+// degradation path: R1–R3 hold at every operating point of the envelope
+// (corner points included) with the participants' watchdog pinned at the
+// envelope ceiling, exactly as the adaptive cluster deploys them.
+func TestVerifyEnvelopeBinary(t *testing.T) {
+	env := Envelope{TMinLo: 2, TMinHi: 2, TMaxLo: 4, TMaxHi: 16}
+	base := Config{Variant: Binary, N: 1, Fixed: true}
+	verdicts, err := VerifyEnvelope(base, env, []Property{R1, R2, R3}, mc.Options{MaxStates: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 9 {
+		t.Fatalf("got %d verdicts, want 9 (3 levels x 3 properties)", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if !v.Satisfied {
+			t.Errorf("%v fails at (%d,%d):\n%s", v.Property, v.Cfg.TMin, v.Cfg.TMax,
+				trace.Summary(v.Result.Trace))
+		}
+		if v.Cfg.WatchdogTMax != env.TMaxHi {
+			t.Fatalf("level config lost the watchdog ceiling: %+v", v.Cfg)
+		}
+	}
+	// Corner points: the first verdicts run the floor, the last the top.
+	if verdicts[0].Cfg.TMax != 4 || verdicts[len(verdicts)-1].Cfg.TMax != 16 {
+		t.Fatalf("corner points missing: first tmax %d, last tmax %d",
+			verdicts[0].Cfg.TMax, verdicts[len(verdicts)-1].Cfg.TMax)
+	}
+}
+
+// TestVerifyEnvelopeDynamic covers the dynamic variant (the one the churn
+// campaigns drive) over a two-level envelope.
+func TestVerifyEnvelopeDynamic(t *testing.T) {
+	env := Envelope{TMinLo: 2, TMinHi: 2, TMaxLo: 4, TMaxHi: 8}
+	base := Config{Variant: Dynamic, N: 1, Fixed: true}
+	verdicts, err := VerifyEnvelope(base, env, []Property{R1, R2, R3}, mc.Options{MaxStates: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 6 {
+		t.Fatalf("got %d verdicts, want 6", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if !v.Satisfied {
+			t.Errorf("%v fails at (%d,%d):\n%s", v.Property, v.Cfg.TMin, v.Cfg.TMax,
+				trace.Summary(v.Result.Trace))
+		}
+	}
+}
+
+func TestVerifyEnvelopeRejectsBadEnvelope(t *testing.T) {
+	_, err := VerifyEnvelope(Config{Variant: Binary, N: 1}, Envelope{TMinLo: 0, TMaxLo: 4, TMaxHi: 8},
+		[]Property{R1}, mc.Options{})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("invalid envelope accepted: %v", err)
+	}
+}

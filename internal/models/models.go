@@ -80,6 +80,13 @@ func (v Variant) String() string {
 type Config struct {
 	// TMin and TMax are the protocol constants (0 < TMin <= TMax).
 	TMin, TMax int32
+	// WatchdogTMax, when non-zero, decouples the participants' watchdog
+	// bounds from the coordinator's TMax: the bounds are derived from this
+	// value instead (must be >= TMax). The adaptive variant runs its
+	// participants at the envelope's worst-case point while the
+	// coordinator operates at a tighter level; this knob mirrors that
+	// split in the model.
+	WatchdogTMax int32
 	// Variant selects the protocol.
 	Variant Variant
 	// N is the number of participants; forced to 1 for the binary
@@ -115,6 +122,9 @@ func (c Config) Validate() error {
 	if c.TMin <= 0 || c.TMax < c.TMin {
 		return fmt.Errorf("%w: need 0 < tmin <= tmax, got %d, %d", ErrConfig, c.TMin, c.TMax)
 	}
+	if c.WatchdogTMax != 0 && c.WatchdogTMax < c.TMax {
+		return fmt.Errorf("%w: watchdog tmax %d below tmax %d", ErrConfig, c.WatchdogTMax, c.TMax)
+	}
 	switch c.Variant {
 	case Binary, RevisedBinary, TwoPhase, Static, Expanding, Dynamic:
 	default:
@@ -145,20 +155,29 @@ func (c Config) fixPriority() bool { return c.Fixed || c.FixPriority }
 // fixBounds reports whether the §6.2 corrected bounds are in force.
 func (c Config) fixBounds() bool { return c.Fixed || c.FixBounds }
 
+// watchdogTMax is the tmax the participants' watchdog bounds derive from:
+// the coordinator's, unless WatchdogTMax decouples them.
+func (c Config) watchdogTMax() int32 {
+	if c.WatchdogTMax != 0 {
+		return c.WatchdogTMax
+	}
+	return c.TMax
+}
+
 // responderBound is p[i]'s steady-state watchdog bound.
 func (c Config) responderBound() int32 {
 	if c.fixBounds() {
-		return 2 * c.TMax
+		return 2 * c.watchdogTMax()
 	}
-	return 3*c.TMax - c.TMin
+	return 3*c.watchdogTMax() - c.TMin
 }
 
 // joinerBound is p[i]'s solicitation-phase bound.
 func (c Config) joinerBound() int32 {
 	if c.fixBounds() {
-		return 2*c.TMax + c.TMin
+		return 2*c.watchdogTMax() + c.TMin
 	}
-	return 3*c.TMax - c.TMin
+	return 3*c.watchdogTMax() - c.TMin
 }
 
 // DetectionBound is the R1 detection bound the configuration claims:

@@ -229,6 +229,13 @@ type CampaignConfig struct {
 	// apart; the Cluster's Link and Seed knobs still apply. Requires a
 	// model-expressible Schedule (conform.CheckSchedule) and Heal == nil —
 	// supervisor restarts have no model counterpart.
+	//
+	// When Conform.Envelope is set the campaign is adaptive: the Cluster
+	// must carry matching core.AdaptiveOptions (the envelopes are compared
+	// field by field), traces are checked piecewise across the envelope's
+	// per-level specifications, and only unconfirmed divergences land in
+	// Divergences — confirmed ones (envelope retunes, by-design leave and
+	// rejoin events) are tallied in Retunes and ConfirmedDivergences.
 	Conform *conform.CampaignCheck
 	// Workers is the number of concurrent trials; values below 2 run on
 	// the calling goroutine. Each trial owns its simulator and cluster and
@@ -254,8 +261,21 @@ type CampaignResult struct {
 	ScheduleErrors int
 	// Divergences holds one trace divergence per non-conforming trial
 	// (conformance checking enabled and the detector stepped outside its
-	// model).
+	// model). Adaptive campaigns only report unconfirmed divergences here.
 	Divergences []*conform.Divergence
+	// ConfirmedDivergences counts by-design divergences across all trials
+	// of an adaptive campaign (leave handshakes, rejoins, stray beats).
+	ConfirmedDivergences int
+	// DegradedDivergences counts divergences tolerated while degraded:
+	// after a saturated retune the runtime intentionally runs as a plain
+	// heartbeat, off the accelerated model, until the next level change.
+	DegradedDivergences int
+	// Retunes counts model-confirmed envelope transitions across all
+	// trials of an adaptive campaign.
+	Retunes int
+	// Saturations counts retunes that re-held the envelope ceiling — the
+	// entries into degraded (plain-heartbeat) operation.
+	Saturations int
 }
 
 // RunCampaign replays the schedule over Trials independent clusters.
@@ -267,6 +287,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		return nil, fmt.Errorf("%w: campaign needs a fault schedule", ErrScenario)
 	}
 	var spec *conform.Spec
+	adaptive := false
 	if cfg.Conform != nil {
 		if cfg.Heal != nil {
 			return nil, fmt.Errorf("%w: conformance checking cannot model supervisor restarts", ErrScenario)
@@ -281,8 +302,31 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		cfg.Cluster.Protocol = base.Protocol
 		cfg.Cluster.Core = base.Core
 		cfg.Cluster.N = base.N
-		if spec, err = cfg.Conform.Spec(); err != nil {
-			return nil, err
+		if env := cfg.Conform.Envelope; env != nil {
+			ad := cfg.Cluster.Adaptive
+			if ad == nil {
+				return nil, fmt.Errorf("%w: envelope conformance needs an adaptive cluster", ErrScenario)
+			}
+			ce := ad.Envelope
+			if int32(ce.TMinLo) != env.TMinLo || int32(ce.TMinHi) != env.TMinHi ||
+				int32(ce.TMaxLo) != env.TMaxLo || int32(ce.TMaxHi) != env.TMaxHi {
+				return nil, fmt.Errorf("%w: cluster envelope %+v does not match model envelope %+v",
+					ErrScenario, ce, *env)
+			}
+			adaptive = true
+			// Build every level's spec up front, outside the workers.
+			for level := 0; level < env.Levels(); level++ {
+				if _, err := cfg.Conform.SpecAt(level); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			if cfg.Cluster.Adaptive != nil {
+				return nil, fmt.Errorf("%w: adaptive cluster needs Conform.Envelope", ErrScenario)
+			}
+			if spec, err = cfg.Conform.Spec(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	type trialOutcome struct {
@@ -293,6 +337,10 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		faults      faults.Stats
 		schedErrs   int
 		div         *conform.Divergence
+		confirmed   int
+		degraded    int
+		retunes     int
+		saturations int
 		err         error
 	}
 	runTrial := func(trial int) trialOutcome {
@@ -309,7 +357,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		cc.Faults = &sched
 		cc.Heal = cfg.Heal
 		var rec *conform.Recorder
-		if spec != nil {
+		if spec != nil || adaptive {
 			rec = conform.NewRecorder()
 			cc.Observe = rec
 		}
@@ -323,7 +371,18 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		c.Sim.RunUntil(cfg.Horizon)
 		c.Stop()
 		var o trialOutcome
-		if rec != nil {
+		switch {
+		case adaptive:
+			pr, err := cfg.Conform.CheckTraceAdaptive(rec.Events(), core.Tick(cfg.Horizon))
+			if err != nil {
+				return trialOutcome{err: err}
+			}
+			o.div = pr.Unconfirmed
+			o.confirmed = pr.Confirmed
+			o.degraded = pr.Degraded
+			o.retunes = pr.Retunes
+			o.saturations = pr.Saturations
+		case rec != nil:
 			o.div = spec.CheckTrace(rec.Events(), core.Tick(cfg.Horizon))
 		}
 		o.survived = c.Coordinator.Status() == core.StatusActive
@@ -389,8 +448,13 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		out.Faults.DroppedLoss += o.faults.DroppedLoss
 		out.Faults.Duplicated += o.faults.Duplicated
 		out.Faults.Delayed += o.faults.Delayed
+		out.Faults.Slowed += o.faults.Slowed
 		out.Faults.SendErrors += o.faults.SendErrors
 		out.ScheduleErrors += o.schedErrs
+		out.ConfirmedDivergences += o.confirmed
+		out.DegradedDivergences += o.degraded
+		out.Retunes += o.retunes
+		out.Saturations += o.saturations
 	}
 	return out, nil
 }

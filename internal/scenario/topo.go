@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// TopologyScenario is a named, parsed correlated-failure script for chaos
+// campaigns. Text is the schedule DSL the scenario was built from, kept
+// so experiment logs can reproduce the run with hbsim -faults.
+type TopologyScenario struct {
+	Name     string
+	Text     string
+	Schedule *faults.Schedule
+}
+
+// twoRackTopo renders the topo directive for a coordinator plus n
+// participants split across two racks in two zones: rack 0 (zone 0)
+// holds the coordinator and the first half of the participants, rack 1
+// (zone 1) the rest (for n == 1, the lone participant).
+func twoRackTopo(n int) string {
+	var racks []string
+	for node := 0; node <= n; node++ {
+		rack := 0
+		if node > n/2 {
+			rack = 1
+		}
+		racks = append(racks, fmt.Sprintf("%d:%d", node, rack))
+	}
+	return fmt.Sprintf("topo racks=%s zones=1:1", strings.Join(racks, ","))
+}
+
+// rackNodes lists the participants twoRackTopo places in a rack.
+func rackNodes(n, rack int) []int {
+	var out []int
+	for node := 1; node <= n; node++ {
+		inOne := node > n/2
+		if (rack == 1) == inOne {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+func parseScenario(name, text string) (TopologyScenario, error) {
+	sched, err := faults.ParseSchedule(text)
+	if err != nil {
+		return TopologyScenario{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	return TopologyScenario{Name: name, Text: text, Schedule: sched}, nil
+}
+
+// RackLossScenario is correlated bursty loss: every link crossing rack
+// 1's boundary runs a shared-fate Gilbert–Elliott process over
+// [200, 800), so all of the rack's members go lossy and recover
+// together — the failure mode the adaptive coordinator's widen/tighten
+// path exists for.
+func RackLossScenario(n int) (TopologyScenario, error) {
+	text := twoRackTopo(n) + "\n" +
+		"rackloss t=200 rack=1 pgb=0.25 pbg=0.25 lg=0.6 lb=0.95\n" +
+		"rackloss t=800 rack=1\n"
+	return parseScenario("rack-loss", text)
+}
+
+// WANDelayScenario is asymmetric inter-zone latency: beats from the
+// coordinator's zone to zone 1 take one extra tick over [150, 700),
+// replies return undelayed. The delay stays within the round-trip
+// allowance (tmin/2 per direction for tmin >= 2), so conformance must
+// hold throughout.
+func WANDelayScenario(n int) (TopologyScenario, error) {
+	text := twoRackTopo(n) + "\n" +
+		"zonedelay t=150 from=0 to=1 mindelay=1 maxdelay=1\n" +
+		"zonedelay t=700 from=0 to=1 mindelay=0 maxdelay=0\n"
+	return parseScenario("wan-delay", text)
+}
+
+// ChurnStormScenario is staggered voluntary churn: every participant of
+// rack 1 — and, for clusters with three or more participants, the last
+// member of rack 0 — leaves in sequence from t=250 and rejoins 80 ticks
+// later. Dynamic clusters with rejoin enabled only.
+func ChurnStormScenario(n int) (TopologyScenario, error) {
+	nodes := rackNodes(n, 1)
+	if n >= 3 {
+		inner := rackNodes(n, 0)
+		nodes = append(nodes, inner[len(inner)-1])
+	}
+	var ids []string
+	for _, node := range nodes {
+		ids = append(ids, fmt.Sprintf("%d", node))
+	}
+	text := twoRackTopo(n) + "\n" +
+		fmt.Sprintf("churn t=250 stagger=20 down=80 nodes=%s\n", strings.Join(ids, ","))
+	return parseScenario("churn-storm", text)
+}
