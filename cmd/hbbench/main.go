@@ -12,7 +12,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,42 +19,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchjson"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/mc"
 	"repro/internal/models"
 )
-
-// Entry is one benchmark run in the history file.
-type Entry struct {
-	Label    string `json:"label"`
-	Date     string `json:"date"`
-	Go       string `json:"go"`
-	MaxProcs int    `json:"maxprocs"`
-	// Workers is the BFS worker count used for the checker benchmark
-	// (0 before the checker went parallel).
-	Workers   int     `json:"workers,omitempty"`
-	Checker   Metrics `json:"checker"`
-	Simulator Metrics `json:"simulator"`
-	// Table1SeqMS and Table1ParMS time the Table 1 binary-family
-	// regeneration sequentially and with all cores, in milliseconds.
-	Table1SeqMS float64 `json:"table1_seq_ms,omitempty"`
-	Table1ParMS float64 `json:"table1_par_ms,omitempty"`
-}
-
-// Metrics summarises one throughput benchmark.
-type Metrics struct {
-	// PerSec is the benchmark's primary rate: states/s for the checker,
-	// events/s for the simulator.
-	PerSec      float64 `json:"per_sec"`
-	NSPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-}
-
-// History is the BENCH_mc.json document.
-type History struct {
-	Entries []Entry `json:"history"`
-}
 
 func main() {
 	var (
@@ -75,12 +44,19 @@ func main() {
 }
 
 func run(out, label string, table bool, workers int) error {
-	entry := Entry{
+	entry := benchjson.Entry{
 		Label:    label,
 		Date:     time.Now().UTC().Format(time.RFC3339),
 		Go:       runtime.Version(),
 		MaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:   runtime.NumCPU(),
 		Workers:  workers,
+	}
+	// On a single-CPU host, multi-worker rows cannot show parallel
+	// speedup — they only measure coordination overhead. Flag them so a
+	// later trajectory diff does not misread the row as a regression.
+	if entry.NumCPU == 1 && workers > 1 {
+		entry.Note = benchjson.CoordinationOverheadNote
 	}
 
 	var benchErr error
@@ -159,31 +135,15 @@ func run(out, label string, table bool, workers int) error {
 			seq, par, runtime.GOMAXPROCS(0), seq/par)
 	}
 
-	hist := History{}
-	if b, err := os.ReadFile(out); err == nil {
-		if err := json.Unmarshal(b, &hist); err != nil {
-			return fmt.Errorf("parsing existing %s: %w", out, err)
-		}
-	}
-	hist.Entries = append(hist.Entries, entry)
-	// Validate the whole file, not just the new entry: the history is the
-	// artifact, and a corrupt earlier entry should block appends too.
-	if err := validateHistory(hist); err != nil {
-		return fmt.Errorf("refusing to write %s: %w", out, err)
-	}
-	b, err := json.MarshalIndent(hist, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+	if err := benchjson.Append(out, entry); err != nil {
 		return err
 	}
 	fmt.Printf("appended entry %q to %s\n", label, out)
 	return nil
 }
 
-func metrics(r testing.BenchmarkResult, rate string) Metrics {
-	return Metrics{
+func metrics(r testing.BenchmarkResult, rate string) benchjson.Metrics {
+	return benchjson.Metrics{
 		PerSec:      r.Extra[rate],
 		NSPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),

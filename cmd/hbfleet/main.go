@@ -1,0 +1,154 @@
+// Command hbfleet drives a fleet-scale heartbeat monitoring run: many
+// thousands of independent accelerated-heartbeat clusters multiplexed
+// into one process as struct-of-arrays rows over sharded timer wheels
+// (internal/fleet), with per-epoch rollup up an aggregation tree.
+//
+//	hbfleet                              # default 10k-endpoint run, summary table
+//	hbfleet -clusters 16384 -members 64  # a 1,048,576-endpoint fleet
+//	hbfleet -bench -label pr7-fleet-1m   # timed run, append to BENCH_mc.json
+//	hbfleet -alloc-check                 # fail unless steady state is 0 allocs/epoch
+//
+// The run is deterministic for a given seed and topology at any -workers
+// value. -alloc-check and the missed-deadline assertion back the CI smoke
+// step; -bench appends a validated fleet entry to the benchmark history.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchjson"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("hbfleet", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		clusters   = fs.Int("clusters", 157, "leaf heartbeat clusters")
+		members    = fs.Int("members", 64, "monitored endpoints per cluster")
+		shards     = fs.Int("shards", 64, "independent event loops (topology: changes results)")
+		workers    = fs.Int("workers", 1, "goroutines driving shards (results identical at any value)")
+		epochs     = fs.Int("epochs", 30, "rollup epochs to run after warmup")
+		warmup     = fs.Int("warmup", 5, "untimed warmup epochs")
+		tmin       = fs.Uint("tmin", 2, "protocol tmin, ticks")
+		tmax       = fs.Uint("tmax", 16, "protocol tmax, ticks")
+		loss       = fs.Float64("loss", 0, "independent per-message loss probability")
+		killEvery  = fs.Int("kill-every", 64, "crash one endpoint per shard every this many ticks (0 = never)")
+		seed       = fs.Int64("seed", 1, "seed for the per-shard RNG streams")
+		bench      = fs.Bool("bench", false, "append a fleet entry to the benchmark history")
+		out        = fs.String("out", "BENCH_mc.json", "benchmark history file (with -bench)")
+		label      = fs.String("label", "fleet-run", "history entry label (with -bench)")
+		allocCheck = fs.Bool("alloc-check", false, "fail unless a steady-state epoch is 0 allocs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := fleet.Config{
+		Clusters:    *clusters,
+		ClusterSize: *members,
+		Shards:      *shards,
+		Workers:     *workers,
+		Core:        core.Config{TMin: core.Tick(*tmin), TMax: core.Tick(*tmax)},
+		LossProb:    *loss,
+		KillEvery:   sim.Time(*killEvery),
+		Seed:        *seed,
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		fmt.Fprintln(w, "hbfleet:", err)
+		return 1
+	}
+	fmt.Fprintf(w, "fleet: %d endpoints (%d clusters x %d), %d shards, %d workers\n",
+		f.Endpoints(), *clusters, *members, *shards, *workers)
+
+	if err := f.RunEpochs(*warmup); err != nil {
+		fmt.Fprintln(w, "hbfleet:", err)
+		return 1
+	}
+	before := f.Stats()
+	start := time.Now()
+	if err := f.RunEpochs(*epochs); err != nil {
+		fmt.Fprintln(w, "hbfleet:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	st := f.Stats()
+	beatsPerSec := float64(st.Beats-before.Beats) / elapsed.Seconds()
+	p50, p99, samples := f.DetectionLatency()
+
+	fmt.Fprintf(w, "ran %d epochs (%d virtual ticks) in %v\n",
+		*epochs, f.Now(), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "throughput: %.0f beats/s sustained\n", beatsPerSec)
+	fmt.Fprintf(w, "root: %d/%d alive, %d detections (%d kills, %d false suspects)\n",
+		st.Root.Alive, st.Root.Total, st.Root.Detections, st.Kills, st.FalseSuspects)
+	fmt.Fprintf(w, "detection latency: p50=%d p99=%d ticks over %d samples\n", p50, p99, samples)
+	fmt.Fprintf(w, "health: %d missed deadlines, %d silent links, %d stale children, %d latency overflows\n",
+		st.MissedDeadlines, st.SilentLinks, st.StaleChildren, st.LatencyOverflow)
+
+	if st.MissedDeadlines != 0 || st.SilentLinks != 0 || st.StaleChildren != 0 {
+		fmt.Fprintln(w, "hbfleet: FAIL: the run violated its health invariants")
+		return 1
+	}
+
+	allocsPerEpoch := int64(-1)
+	if *allocCheck || *bench {
+		// The per-beat hot path holds the simulator's 0-alloc standard;
+		// measure a whole steady-state epoch on the already-warm fleet.
+		avg := testing.AllocsPerRun(5, func() {
+			if err := f.RunEpochs(1); err != nil {
+				panic(err)
+			}
+		})
+		allocsPerEpoch = int64(avg)
+		fmt.Fprintf(w, "steady state: %d allocs/epoch\n", allocsPerEpoch)
+		if *allocCheck && allocsPerEpoch != 0 {
+			fmt.Fprintln(w, "hbfleet: FAIL: steady-state epoch allocates")
+			return 1
+		}
+	}
+
+	if *bench {
+		entry := benchjson.Entry{
+			Label:    *label,
+			Date:     time.Now().UTC().Format(time.RFC3339),
+			Go:       runtime.Version(),
+			MaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:   runtime.NumCPU(),
+			Fleet: &benchjson.FleetMetrics{
+				Endpoints:        f.Endpoints(),
+				Clusters:         *clusters,
+				Shards:           *shards,
+				Workers:          *workers,
+				Epochs:           *epochs,
+				BeatsPerSec:      beatsPerSec,
+				P50Ticks:         int(p50),
+				P99Ticks:         int(p99),
+				DetectionSamples: samples,
+				AllocsPerEpoch:   allocsPerEpoch,
+				MissedDeadlines:  st.MissedDeadlines,
+			},
+		}
+		if entry.NumCPU == 1 && *workers > 1 {
+			entry.Note = benchjson.CoordinationOverheadNote
+		}
+		if err := benchjson.Append(*out, entry); err != nil {
+			fmt.Fprintln(w, "hbfleet:", err)
+			return 1
+		}
+		fmt.Fprintf(w, "appended entry %q to %s\n", *label, *out)
+	}
+	return 0
+}

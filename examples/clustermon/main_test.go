@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden runs clustermon with args and compares the output against
+// testdata/<name>.golden. `go test -update` rewrites the files. Both
+// modes are fully deterministic (seeded virtual time), so the goldens pin
+// the whole narrated run.
+func checkGolden(t *testing.T, name string, args ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if code := run(args, &buf); code != 0 {
+		t.Fatalf("run(%v) = %d\n%s", args, code, buf.String())
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update ./examples/clustermon` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output differs from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+func TestGoldenCluster(t *testing.T) { checkGolden(t, "cluster") }
+func TestGoldenFleet(t *testing.T)   { checkGolden(t, "fleet", "-fleet") }
+
+func TestUnknownFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-nope"}, &buf); code != 2 {
+		t.Fatalf("run(-nope) = %d, want 2\n%s", code, buf.String())
+	}
+}

@@ -1,0 +1,203 @@
+// Package benchjson is the shared schema and validated-append path for
+// BENCH_mc.json, the repo's benchmark trajectory. Both writers — hbbench
+// (checker/simulator micro-benchmarks) and hbfleet (the fleet-scale
+// macro-benchmark) — append through Append, which validates the whole
+// history before writing: the file is the artifact, and a malformed or
+// out-of-order entry breaks trajectory diffs months later, so appends
+// fail loudly instead.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Entry is one benchmark run in the history file. Exactly one of the two
+// shapes is populated: micro entries carry Checker+Simulator, fleet
+// entries carry Fleet.
+type Entry struct {
+	Label    string `json:"label"`
+	Date     string `json:"date"`
+	Go       string `json:"go"`
+	MaxProcs int    `json:"maxprocs"`
+	// NumCPU is runtime.NumCPU() on the measuring host. Parallel-speedup
+	// numbers from a 1-CPU host measure coordination overhead only (see
+	// Note); recorded so history rows are interpretable later.
+	NumCPU int `json:"numcpu,omitempty"`
+	// Note flags rows needing interpretation care, e.g.
+	// "coordination-overhead-only" for multi-worker runs on one CPU.
+	Note string `json:"note,omitempty"`
+	// Workers is the BFS worker count used for the checker benchmark
+	// (0 before the checker went parallel).
+	Workers   int     `json:"workers,omitempty"`
+	Checker   Metrics `json:"checker,omitzero"`
+	Simulator Metrics `json:"simulator,omitzero"`
+	// Table1SeqMS and Table1ParMS time the Table 1 binary-family
+	// regeneration sequentially and with all cores, in milliseconds.
+	Table1SeqMS float64 `json:"table1_seq_ms,omitempty"`
+	Table1ParMS float64 `json:"table1_par_ms,omitempty"`
+	// Fleet carries the hbfleet macro-benchmark, when this entry is one.
+	Fleet *FleetMetrics `json:"fleet,omitempty"`
+}
+
+// Metrics summarises one throughput benchmark.
+type Metrics struct {
+	// PerSec is the benchmark's primary rate: states/s for the checker,
+	// events/s for the simulator.
+	PerSec      float64 `json:"per_sec"`
+	NSPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// FleetMetrics summarises one hbfleet benchmark run.
+type FleetMetrics struct {
+	Endpoints int `json:"endpoints"`
+	Clusters  int `json:"clusters"`
+	Shards    int `json:"shards"`
+	Workers   int `json:"workers"`
+	Epochs    int `json:"epochs"`
+	// BeatsPerSec is sustained protocol rounds closed per wall-clock
+	// second across the whole fleet.
+	BeatsPerSec float64 `json:"beats_per_sec"`
+	// P50Ticks/P99Ticks are detection-latency percentiles in virtual
+	// ticks, over DetectionSamples detections.
+	P50Ticks         int    `json:"p50_ticks"`
+	P99Ticks         int    `json:"p99_ticks"`
+	DetectionSamples uint64 `json:"detection_samples"`
+	// AllocsPerEpoch is steady-state allocations per epoch (0 when the
+	// per-beat path holds the simulator's 0-alloc standard).
+	AllocsPerEpoch int64 `json:"allocs_per_epoch"`
+	// MissedDeadlines counts virtual-time monotonicity violations
+	// (must be 0).
+	MissedDeadlines uint64 `json:"missed_deadlines"`
+}
+
+// History is the BENCH_mc.json document.
+type History struct {
+	Entries []Entry `json:"history"`
+}
+
+// CoordinationOverheadNote is the standard Note for multi-worker rows
+// measured on a single CPU: worker counts above 1 cannot show speedup
+// there, only coordination overhead.
+const CoordinationOverheadNote = "coordination-overhead-only"
+
+// Validate checks the whole benchmark history. Rules:
+//
+//   - every entry has a non-empty label, and labels are unique (a
+//     duplicate label makes "the pr4-maxprocs8 row" ambiguous);
+//   - every entry's date parses as RFC3339 and dates never move
+//     backwards (the file is an append-only trajectory; out-of-order
+//     dates mean someone rewrote history or a clock is broken);
+//   - the required measurement fields are present: go version,
+//     maxprocs >= 1, and one complete measurement shape — positive
+//     per_sec/ns_per_op for both checker and simulator (micro entries),
+//     or positive endpoints/beats_per_sec (fleet entries).
+func Validate(h History) error {
+	seen := make(map[string]int, len(h.Entries))
+	var prev time.Time
+	for i, e := range h.Entries {
+		where := fmt.Sprintf("entry %d (label %q)", i, e.Label)
+		if e.Label == "" {
+			return fmt.Errorf("entry %d: empty label", i)
+		}
+		if j, dup := seen[e.Label]; dup {
+			return fmt.Errorf("%s: duplicate label (first used by entry %d); pick a distinct -label", where, j)
+		}
+		seen[e.Label] = i
+		d, err := time.Parse(time.RFC3339, e.Date)
+		if err != nil {
+			return fmt.Errorf("%s: date %q is not RFC3339: %v", where, e.Date, err)
+		}
+		if d.Before(prev) {
+			return fmt.Errorf("%s: date %s precedes the previous entry's %s; the history is append-only and must stay chronological", where, e.Date, prev.Format(time.RFC3339))
+		}
+		prev = d
+		if e.Go == "" {
+			return fmt.Errorf("%s: missing go version", where)
+		}
+		if e.MaxProcs < 1 {
+			return fmt.Errorf("%s: maxprocs %d < 1", where, e.MaxProcs)
+		}
+		if e.Fleet != nil {
+			if err := validateFleet(e.Fleet); err != nil {
+				return fmt.Errorf("%s: %v", where, err)
+			}
+			continue
+		}
+		if err := validateMetrics("checker", e.Checker); err != nil {
+			return fmt.Errorf("%s: %v", where, err)
+		}
+		if err := validateMetrics("simulator", e.Simulator); err != nil {
+			return fmt.Errorf("%s: %v", where, err)
+		}
+	}
+	return nil
+}
+
+func validateMetrics(name string, m Metrics) error {
+	if m.PerSec <= 0 {
+		return fmt.Errorf("%s per_sec %g is not positive; the benchmark did not run", name, m.PerSec)
+	}
+	if m.NSPerOp <= 0 {
+		return fmt.Errorf("%s ns_per_op %g is not positive", name, m.NSPerOp)
+	}
+	return nil
+}
+
+func validateFleet(f *FleetMetrics) error {
+	if f.Endpoints <= 0 {
+		return fmt.Errorf("fleet endpoints %d is not positive", f.Endpoints)
+	}
+	if f.BeatsPerSec <= 0 {
+		return fmt.Errorf("fleet beats_per_sec %g is not positive; the benchmark did not run", f.BeatsPerSec)
+	}
+	if f.Epochs <= 0 {
+		return fmt.Errorf("fleet epochs %d is not positive", f.Epochs)
+	}
+	if f.P99Ticks < f.P50Ticks {
+		return fmt.Errorf("fleet p99 %d below p50 %d", f.P99Ticks, f.P50Ticks)
+	}
+	if f.MissedDeadlines != 0 {
+		return fmt.Errorf("fleet missed %d deadlines; the run is invalid", f.MissedDeadlines)
+	}
+	return nil
+}
+
+// Load reads and parses a history file; a missing file is an empty
+// history, not an error.
+func Load(path string) (History, error) {
+	var h History
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return h, nil
+		}
+		return h, err
+	}
+	if err := json.Unmarshal(b, &h); err != nil {
+		return h, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return h, nil
+}
+
+// Append adds entry to the history at path, validating the whole file —
+// not just the new entry — before writing: a corrupt earlier entry
+// should block appends too.
+func Append(path string, entry Entry) error {
+	hist, err := Load(path)
+	if err != nil {
+		return err
+	}
+	hist.Entries = append(hist.Entries, entry)
+	if err := Validate(hist); err != nil {
+		return fmt.Errorf("refusing to write %s: %w", path, err)
+	}
+	b, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

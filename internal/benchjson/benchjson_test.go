@@ -1,8 +1,9 @@
-package main
+package benchjson
 
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -13,9 +14,31 @@ func goodEntry(label, date string) Entry {
 		Date:     date,
 		Go:       "go1.24.0",
 		MaxProcs: 1,
+		NumCPU:   1,
 		Checker:  Metrics{PerSec: 1.2e6, NSPerOp: 8.3e8, AllocsPerOp: 1600},
 		Simulator: Metrics{
 			PerSec: 8.7e6, NSPerOp: 1.1e7, AllocsPerOp: 60,
+		},
+	}
+}
+
+func goodFleetEntry(label, date string) Entry {
+	return Entry{
+		Label:    label,
+		Date:     date,
+		Go:       "go1.24.0",
+		MaxProcs: 1,
+		NumCPU:   1,
+		Fleet: &FleetMetrics{
+			Endpoints:        1 << 20,
+			Clusters:         1 << 14,
+			Shards:           64,
+			Workers:          1,
+			Epochs:           30,
+			BeatsPerSec:      2.5e6,
+			P50Ticks:         24,
+			P99Ticks:         45,
+			DetectionSamples: 900,
 		},
 	}
 }
@@ -36,6 +59,13 @@ func TestValidateHistory(t *testing.T) {
 		{
 			name:    "empty history",
 			history: History{},
+		},
+		{
+			name: "micro and fleet entries coexist",
+			history: History{Entries: []Entry{
+				goodEntry("pr2-baseline", "2026-07-01T10:00:00Z"),
+				goodFleetEntry("pr7-fleet-1m", "2026-08-07T10:00:00Z"),
+			}},
 		},
 		{
 			name: "equal dates allowed",
@@ -107,10 +137,43 @@ func TestValidateHistory(t *testing.T) {
 			}},
 			wantErr: "maxprocs",
 		},
+		{
+			name: "fleet entry with zero rate",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodFleetEntry("a", "2026-07-01T10:00:00Z")
+					e.Fleet.BeatsPerSec = 0
+					return e
+				}(),
+			}},
+			wantErr: "beats_per_sec",
+		},
+		{
+			name: "fleet entry with missed deadlines",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodFleetEntry("a", "2026-07-01T10:00:00Z")
+					e.Fleet.MissedDeadlines = 3
+					return e
+				}(),
+			}},
+			wantErr: "missed 3 deadlines",
+		},
+		{
+			name: "fleet entry with inverted percentiles",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodFleetEntry("a", "2026-07-01T10:00:00Z")
+					e.Fleet.P99Ticks = e.Fleet.P50Ticks - 1
+					return e
+				}(),
+			}},
+			wantErr: "below p50",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateHistory(tc.history)
+			err := Validate(tc.history)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("want valid, got %v", err)
@@ -127,9 +190,36 @@ func TestValidateHistory(t *testing.T) {
 	}
 }
 
+// Append round-trips through disk, accumulates entries, and refuses to
+// extend an invalid history.
+func TestAppendValidatedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Append(path, goodEntry("a", "2026-07-01T10:00:00Z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, goodFleetEntry("b", "2026-07-02T10:00:00Z")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 2 || h.Entries[1].Fleet == nil {
+		t.Fatalf("loaded %d entries, fleet=%v", len(h.Entries), h.Entries[1].Fleet)
+	}
+	// A duplicate label must be rejected and leave the file untouched.
+	if err := Append(path, goodEntry("a", "2026-07-03T10:00:00Z")); err == nil {
+		t.Fatal("duplicate label appended")
+	}
+	h2, err := Load(path)
+	if err != nil || len(h2.Entries) != 2 {
+		t.Fatalf("history mutated by rejected append: %d entries, %v", len(h2.Entries), err)
+	}
+}
+
 // TestCheckedInHistoryValid pins the repo's actual BENCH_mc.json against
 // the same rules the append path enforces, so a hand-edit that breaks
-// the trajectory fails in tests before the next hbbench run trips on it.
+// the trajectory fails in tests before the next append trips on it.
 func TestCheckedInHistoryValid(t *testing.T) {
 	b, err := os.ReadFile("../../BENCH_mc.json")
 	if err != nil {
@@ -142,7 +232,7 @@ func TestCheckedInHistoryValid(t *testing.T) {
 	if len(hist.Entries) == 0 {
 		t.Fatal("BENCH_mc.json has no entries")
 	}
-	if err := validateHistory(hist); err != nil {
+	if err := Validate(hist); err != nil {
 		t.Fatalf("checked-in BENCH_mc.json fails validation: %v", err)
 	}
 }

@@ -1,0 +1,105 @@
+package detector
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// stepLog records every machine step of every node, rendered to strings,
+// so two cluster runs can be compared step for step.
+type stepLog struct {
+	steps []string
+}
+
+func (l *stepLog) ObserveStep(id netem.NodeID, now core.Tick, tr Trigger, actions []core.Action) {
+	l.steps = append(l.steps, fmt.Sprintf("t=%d node=%d trig=%v beat=%+v timer=%v actions=%v",
+		now, id, tr.Kind, tr.Beat, tr.Timer, actions))
+}
+
+// TestClusterTraceIdenticalAcrossQueueBackends pins the contract
+// ClusterConfig.TimerWheel documents: the hierarchical timer wheel and
+// the 4-ary heap produce the same execution order, so every machine step
+// and every liveness event of a cluster run is identical on both
+// backends — across protocol variants, lossy links, and random seeds.
+func TestClusterTraceIdenticalAcrossQueueBackends(t *testing.T) {
+	protos := []Protocol{ProtocolBinary, ProtocolStatic, ProtocolExpanding, ProtocolDynamic}
+	for _, proto := range protos {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", proto, seed), func(t *testing.T) {
+				run := func(wheel bool) ([]string, []Event) {
+					log := &stepLog{}
+					c, err := NewCluster(ClusterConfig{
+						Protocol: proto,
+						Core:     core.Config{TMin: 2, TMax: 16},
+						N:        3,
+						Link: netem.LinkConfig{
+							MaxDelay: 1,
+							LossProb: 0.05,
+						},
+						Seed:       seed,
+						Observe:    log,
+						TimerWheel: wheel,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := c.Start(); err != nil {
+						t.Fatal(err)
+					}
+					c.Sim.RunUntil(2_000)
+					return log.steps, c.Events
+				}
+				heapSteps, heapEvents := run(false)
+				wheelSteps, wheelEvents := run(true)
+				if len(heapSteps) == 0 {
+					t.Fatal("no machine steps recorded")
+				}
+				if len(heapSteps) != len(wheelSteps) {
+					t.Fatalf("step counts diverge: heap %d, wheel %d", len(heapSteps), len(wheelSteps))
+				}
+				for i := range heapSteps {
+					if heapSteps[i] != wheelSteps[i] {
+						t.Fatalf("step %d diverges:\n  heap:  %s\n  wheel: %s", i, heapSteps[i], wheelSteps[i])
+					}
+				}
+				if len(heapEvents) != len(wheelEvents) {
+					t.Fatalf("event counts diverge: heap %d, wheel %d", len(heapEvents), len(wheelEvents))
+				}
+				for i := range heapEvents {
+					if heapEvents[i] != wheelEvents[i] {
+						t.Fatalf("event %d diverges: heap %+v, wheel %+v", i, heapEvents[i], wheelEvents[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// The same benchmark loop hbbench times, on both queue backends: event
+// counts must agree exactly (the wheel changes the clock's data
+// structure, never the schedule).
+func TestClusterBenchmarkCountsMatchAcrossBackends(t *testing.T) {
+	count := func(wheel bool) uint64 {
+		c, err := NewCluster(ClusterConfig{
+			Protocol:   ProtocolBinary,
+			Core:       core.Config{TMin: 2, TMax: 16},
+			Seed:       7,
+			TimerWheel: wheel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		c.Sim.RunUntil(sim.Time(100_000))
+		return c.Sim.EventsExecuted()
+	}
+	if h, w := count(false), count(true); h != w {
+		t.Errorf("events executed diverge: heap %d, wheel %d", h, w)
+	}
+}

@@ -115,7 +115,7 @@ func TestGilbertElliottBursts(t *testing.T) {
 	losses, bursts, cur := 0, 0, 0
 	var maxBurst int
 	for i := 0; i < n; i++ {
-		if ch.lose(rng) {
+		if ch.Lose(rng) {
 			losses++
 			cur++
 			if cur > maxBurst {

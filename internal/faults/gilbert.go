@@ -43,16 +43,26 @@ func (g GilbertElliott) Validate() error {
 	return nil
 }
 
-// geChannel is the mutable per-link chain state.
-type geChannel struct {
+// GEProcess is the mutable chain state of one Gilbert–Elliott channel.
+// The fault layer keeps one per link; the fleet keeps one per cluster to
+// model shared-fate bursts across a cluster's whole membership. The zero
+// value is not meaningful — build processes with NewProcess.
+type GEProcess struct {
 	params GilbertElliott
 	bad    bool
 }
 
-// lose advances the chain one message and reports whether that message is
-// lost. The caller supplies the random source so that the whole fault
-// layer draws from one seeded stream.
-func (c *geChannel) lose(rng *rand.Rand) bool {
+// NewProcess returns a chain in the Good state with these parameters.
+func (g GilbertElliott) NewProcess() GEProcess { return GEProcess{params: g} }
+
+// geChannel is the per-link chain state of the fault-injection transport.
+type geChannel = GEProcess
+
+//hbvet:noalloc
+// Lose advances the chain one message and reports whether that message is
+// lost. The caller supplies the random source so each owner (fault layer,
+// fleet shard) draws from its own seeded stream.
+func (c *GEProcess) Lose(rng *rand.Rand) bool {
 	if c.bad {
 		if rng.Float64() < c.params.PBadGood {
 			c.bad = false

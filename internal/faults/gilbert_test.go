@@ -26,7 +26,7 @@ func TestGilbertElliottSteadyState(t *testing.T) {
 		ch := geChannel{params: g}
 		lost := 0
 		for m := 0; m < messages; m++ {
-			if ch.lose(rng) {
+			if ch.Lose(rng) {
 				lost++
 			}
 		}

@@ -254,7 +254,7 @@ func (f *FaultableTransport) Send(from, to netem.NodeID, payload []byte) error {
 		f.mu.Unlock()
 		return nil
 	}
-	if ch := f.channel(key); ch != nil && ch.lose(f.rng) {
+	if ch := f.channel(key); ch != nil && ch.Lose(f.rng) {
 		f.stats.DroppedLoss++
 		f.mu.Unlock()
 		return nil

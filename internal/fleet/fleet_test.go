@@ -1,0 +1,328 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+func testConfig(workers int) Config {
+	return Config{
+		Clusters:    96,
+		ClusterSize: 16,
+		Shards:      8,
+		Workers:     workers,
+		Core:        core.Config{TMin: 2, TMax: 16},
+		LossProb:    0.02,
+		KillEvery:   64,
+		AggFanout:   16,
+		Seed:        42,
+	}
+}
+
+// The fleet's central determinism pin: the full state digest is
+// byte-identical at any worker count, because workers claim whole shards
+// and cross-shard traffic only moves at barriers. Run under -race this
+// also proves the epoch barriers are sound.
+func TestFleetDigestIdenticalAcrossWorkers(t *testing.T) {
+	var want uint64
+	var wantRoot core.Summary
+	for i, workers := range []int{1, 2, 4, 8} {
+		f, err := New(testConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.RunEpochs(20); err != nil {
+			t.Fatal(err)
+		}
+		got := f.Digest()
+		if i == 0 {
+			want, wantRoot = got, f.Root()
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d digest %#x, want %#x (workers=1)", workers, got, want)
+		}
+		if f.Root() != wantRoot {
+			t.Errorf("workers=%d root %+v, want %+v", workers, f.Root(), wantRoot)
+		}
+	}
+}
+
+// Same config, same seed, two fleets: identical digests epoch by epoch.
+func TestFleetRunIsReproducible(t *testing.T) {
+	a, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 12; ep++ {
+		if err := a.RunEpochs(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.RunEpochs(1); err != nil {
+			t.Fatal(err)
+		}
+		if da, db := a.Digest(), b.Digest(); da != db {
+			t.Fatalf("epoch %d: digests diverged (%#x vs %#x)", ep+1, da, db)
+		}
+	}
+}
+
+// With no loss and no kills, nothing is ever suspected: the root summary
+// reports every endpoint alive every epoch, every shard liveness beat
+// lands, and no aggregator child goes stale.
+func TestFleetQuiescentAllAlive(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.LossProb = 0
+	cfg.KillEvery = 0
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunEpochs(30); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	want := uint32(f.Endpoints())
+	if st.Root.Total != want || st.Root.Alive != want {
+		t.Errorf("root %d/%d alive, want %d/%d", st.Root.Alive, st.Root.Total, want, want)
+	}
+	if st.Root.Detections != 0 || st.Detections != 0 || st.FalseSuspects != 0 || st.Inactivations != 0 {
+		t.Errorf("quiescent fleet produced verdicts: %+v", st)
+	}
+	if st.MissedDeadlines != 0 {
+		t.Errorf("missed deadlines: %d", st.MissedDeadlines)
+	}
+	if st.SilentLinks != 0 {
+		t.Errorf("silent shard links: %d", st.SilentLinks)
+	}
+	if st.StaleChildren != 0 {
+		t.Errorf("stale aggregator children: %d", st.StaleChildren)
+	}
+	if st.Losses != 0 {
+		t.Errorf("losses on a loss-free fleet: %d", st.Losses)
+	}
+}
+
+// With kills but no loss, every killed endpoint is detected within the
+// paper's corrected coordinator bound (plus one round of send phase and
+// the wire), and no live endpoint is ever suspected.
+func TestFleetDetectionWithinBound(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.LossProb = 0
+	cfg.KillEvery = 40
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunEpochs(60); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Kills == 0 || st.Detections == 0 {
+		t.Fatalf("injector idle: %d kills, %d detections", st.Kills, st.Detections)
+	}
+	if st.FalseSuspects != 0 {
+		t.Errorf("false suspicions without loss: %d", st.FalseSuspects)
+	}
+	if st.LatencyOverflow != 0 {
+		t.Errorf("detections past the latency bound: %d", st.LatencyOverflow)
+	}
+	p50, p99, n := f.DetectionLatency()
+	if n == 0 {
+		t.Fatal("no latency samples")
+	}
+	bound := sim.Time(cfg.Core.CoordinatorDetectionBound()) +
+		sim.Time(cfg.Core.TMax) + 2*cfg.LinkDelay + 2*1 // LinkDelay defaulted to 1
+	if p99 > bound || p50 > p99 {
+		t.Errorf("latency p50=%d p99=%d out of order or past bound %d", p50, p99, bound)
+	}
+}
+
+// Cluster alive counts in the root always equal the flag-derived truth.
+func TestFleetRollupMatchesFlags(t *testing.T) {
+	f, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 25; ep++ {
+		if err := f.RunEpochs(1); err != nil {
+			t.Fatal(err)
+		}
+		var alive, det uint32
+		for _, s := range f.shards {
+			for _, fl := range s.flags {
+				if fl&fSuspected == 0 {
+					alive++
+				}
+			}
+			det += uint32(s.detections)
+		}
+		root := f.Root()
+		if root.Alive != alive || root.Detections != det {
+			t.Fatalf("epoch %d: root %d alive/%d det, flags say %d/%d",
+				ep+1, root.Alive, root.Detections, alive, det)
+		}
+		if root.Total != uint32(f.Endpoints()) {
+			t.Fatalf("epoch %d: root total %d, want %d", ep+1, root.Total, f.Endpoints())
+		}
+	}
+}
+
+// Burst (Gilbert–Elliott) loss mode exercises the shared-fate chain per
+// cluster and stays deterministic across worker counts.
+func TestFleetBurstLossDeterministic(t *testing.T) {
+	mk := func(workers int) uint64 {
+		cfg := testConfig(workers)
+		cfg.LossProb = 0
+		cfg.Burst = &faults.GilbertElliott{PGoodBad: 0.05, PBadGood: 0.3, LossBad: 0.9}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.RunEpochs(15); err != nil {
+			t.Fatal(err)
+		}
+		if f.Stats().Losses == 0 {
+			t.Fatal("burst channel lost nothing")
+		}
+		return f.Digest()
+	}
+	if a, b := mk(1), mk(4); a != b {
+		t.Errorf("burst digests diverged across workers: %#x vs %#x", a, b)
+	}
+}
+
+// The steady-state per-epoch path — wheel pops, round closes, watchdog
+// rearms, summary emission, batch ingest, rollup — allocates nothing.
+// This is the fleet's half of the simulator's 0-alloc standard.
+func TestFleetSteadyStateAllocFree(t *testing.T) {
+	cfg := testConfig(1)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: outbufs grow to steady-state capacity, the wheel's node
+	// arena and due buffer reach their working set.
+	if err := f.RunEpochs(10); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := f.RunEpochs(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state epoch allocates %.1f times, want 0", avg)
+	}
+}
+
+// Codec round trip: a batch of beats and summaries decodes to exactly
+// what was appended, in order.
+func TestFleetCodecRoundTrip(t *testing.T) {
+	var buf []byte
+	beats := []core.Beat{{From: 0, Stay: true}, {From: 63, Stay: true, Inc: 5}}
+	sums := []core.Summary{
+		{Cluster: 0, Epoch: 1, Total: 64, Alive: 64},
+		{Cluster: 1<<20 - 1, Epoch: 7, Total: 64, Alive: 1, Detections: 63},
+	}
+	buf = appendBeatFrame(buf, beats[0])
+	buf = appendSummaryFrame(buf, sums[0])
+	buf = appendSummaryFrame(buf, sums[1])
+	buf = appendBeatFrame(buf, beats[1])
+
+	d := batchDecoder{buf: buf}
+	wantTags := []byte{frameBeat, frameSummary, frameSummary, frameBeat}
+	bi, si := 0, 0
+	for i, want := range wantTags {
+		if d.done() {
+			t.Fatalf("batch exhausted at frame %d", i)
+		}
+		tag, beat, sum, err := d.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if tag != want {
+			t.Fatalf("frame %d: tag %d, want %d", i, tag, want)
+		}
+		switch tag {
+		case frameBeat:
+			if beat != beats[bi] {
+				t.Errorf("beat %d: %+v, want %+v", bi, beat, beats[bi])
+			}
+			bi++
+		case frameSummary:
+			if sum != sums[si] {
+				t.Errorf("summary %d: %+v, want %+v", si, sum, sums[si])
+			}
+			si++
+		}
+	}
+	if !d.done() {
+		t.Errorf("%d trailing bytes after batch", len(d.buf))
+	}
+}
+
+// Malformed batches surface ErrBadFrame instead of panicking.
+func TestFleetCodecRejectsGarbage(t *testing.T) {
+	for _, buf := range [][]byte{
+		{frameBeat, 1, 0},       // truncated beat
+		{frameSummary, 1, 2, 3}, // truncated summary
+		{99},                    // unknown tag
+	} {
+		d := batchDecoder{buf: buf}
+		if _, _, _, err := d.next(); err == nil {
+			t.Errorf("batch %v decoded without error", buf)
+		}
+	}
+}
+
+// Summary wire encoding round-trips and Add merges fields the way the
+// aggregation tree expects.
+func TestSummaryWireAndAdd(t *testing.T) {
+	s := core.Summary{Cluster: 9, Epoch: 3, Total: 100, Alive: 97, Detections: 3}
+	enc := s.AppendMarshal(nil)
+	got, rest, err := core.UnmarshalSummary(enc)
+	if err != nil || len(rest) != 0 || got != s {
+		t.Fatalf("round trip: %+v rest=%d err=%v", got, len(rest), err)
+	}
+	if _, _, err := core.UnmarshalSummary(enc[:10]); err == nil {
+		t.Error("truncated summary decoded without error")
+	}
+	agg := core.Summary{Cluster: 500, Epoch: 2}
+	agg.Add(s)
+	agg.Add(core.Summary{Cluster: 10, Epoch: 5, Total: 50, Alive: 50})
+	want := core.Summary{Cluster: 500, Epoch: 5, Total: 150, Alive: 147, Detections: 3}
+	if agg != want {
+		t.Errorf("Add: %+v, want %+v", agg, want)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(Config{Clusters: 1, ClusterSize: 1, Core: core.Config{TMin: 10, TMax: 2}}); err == nil {
+		t.Error("inverted tmin/tmax accepted")
+	}
+	if _, err := New(Config{Clusters: 1 << 21, ClusterSize: 1}); err == nil {
+		t.Error("oversized fleet accepted")
+	}
+	// Shards clamp to Clusters; defaults fill in.
+	f, err := New(Config{Clusters: 3, ClusterSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.shards); got != 3 {
+		t.Errorf("3 clusters spread over %d shards, want 3", got)
+	}
+	if err := f.RunEpochs(5); err != nil {
+		t.Fatal(err)
+	}
+}

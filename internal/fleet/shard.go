@@ -1,0 +1,273 @@
+package fleet
+
+// One shard of the fleet: a slice of the endpoint population driven by a
+// private timer wheel, a private RNG, and nothing else — shards share no
+// mutable state during an epoch, which is what makes fleet runs
+// byte-identical at any worker count (see fleet.go).
+//
+// Machine identity is split from transport: a monitored endpoint is not a
+// goroutine with a socket but a row across parallel arrays (wait, flags,
+// watch, killAt), and every protocol action is a handful of array reads
+// and O(1) wheel operations. The hot path is allocation-free at steady
+// state and pinned by TestFleetSteadyStateAllocFree.
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// Wheel payloads carry the event kind in the top bits and the endpoint's
+// local row index in the rest.
+const (
+	kindShift = 29
+	idxMask   = 1<<kindShift - 1
+)
+
+const (
+	kRound uint32 = iota // close member e's protocol round
+	kWatch               // member e's responder watchdog expired
+	kKill                // shard-level fault injector tick
+)
+
+// Endpoint flag bits.
+const (
+	fKilled uint8 = 1 << iota // fault injector crashed the endpoint
+	fSuspected                // coordinator declared it down
+	fInactive                 // its responder watchdog self-inactivated it
+)
+
+// shard owns a contiguous block of clusters and all their member rows.
+type shard struct {
+	id        int
+	numShards int
+	aggFanout uint32
+	wheel     *sim.TimerWheel
+	rng       *rand.Rand
+	now       sim.Time
+
+	cfg         core.Config
+	respBound   sim.Time
+	linkDelay   sim.Time
+	lossProb    float64
+	burst       bool
+	killEvery   sim.Time
+	clusterSize int32
+	clusterLo   int32 // global id of this shard's first cluster
+
+	// Endpoint rows, struct-of-arrays; the row's cluster is row/clusterSize.
+	wait   []int32          // coordinator's current waiting time for the member
+	flags  []uint8          // fKilled | fSuspected | fInactive
+	watch  []sim.WheelTimer // member's responder watchdog
+	killAt []int64          // injection time, 0 = never killed
+
+	// Per-cluster rollup state.
+	clAlive []int32
+	clDet   []uint32
+	clGE    []faults.GEProcess
+
+	// Aggregators hosted on this shard (global id ≡ shard id mod numShards).
+	aggs []aggregator
+	// heard[src] is the last epoch a liveness beat arrived from shard src.
+	heard []uint32
+
+	// outbuf[dst] is this shard's outbound batch for shard dst this epoch.
+	outbuf [][]byte
+
+	// Counters (merged by Fleet.Stats).
+	beats, replies, losses  uint64
+	kills, detections       uint64
+	falseSuspects           uint64
+	inactivations           uint64
+	missedDeadlines         uint64
+	latHist                 []uint32
+	latOverflow             uint64
+}
+
+// aggregator accumulates one subtree's child summaries per epoch.
+type aggregator struct {
+	id       uint32 // summary id (disjoint from cluster ids)
+	children int
+	seen     int
+	sum      core.Summary
+	stale    uint64 // cumulative children missing at a barrier
+}
+
+//hbvet:noalloc
+// runUntil drains every event strictly before end. Virtual time must
+// never move backwards — a violation counts as a missed deadline and is
+// asserted zero by the CI smoke run.
+func (s *shard) runUntil(end sim.Time) {
+	for {
+		at, ok := s.wheel.NextAt()
+		if !ok || at >= end {
+			return
+		}
+		payload, at, _ := s.wheel.Pop()
+		if at < s.now {
+			s.missedDeadlines++
+		}
+		s.now = at
+		e := int32(payload & idxMask)
+		switch payload >> kindShift {
+		case kRound:
+			s.onRound(e)
+		case kWatch:
+			s.onWatch(e)
+		default:
+			s.onKill()
+		}
+	}
+}
+
+//hbvet:noalloc
+// roll draws one loss verdict for a message in cluster cl. With a burst
+// channel configured the whole cluster shares one Gilbert–Elliott chain
+// (shared fate); otherwise losses are independent Bernoulli draws.
+func (s *shard) roll(cl int32) bool {
+	if s.burst {
+		return s.clGE[cl].Lose(s.rng)
+	}
+	return s.lossProb > 0 && s.rng.Float64() < s.lossProb
+}
+
+//hbvet:noalloc
+// onRound closes member e's protocol round: the coordinator sent a beat
+// when the round opened (now - wait), the member replied iff the beat
+// survived, the member was alive at arrival, and the reply's round trip
+// fit inside the waiting time; the waiting time then follows the paper's
+// acceleration rule (core.Config.NextWait) and either the next round is
+// scheduled or the member is suspected.
+func (s *shard) onRound(e int32) {
+	fl := s.flags[e]
+	if fl&fSuspected != 0 {
+		return
+	}
+	s.beats++
+	w := sim.Time(s.wait[e])
+	cl := e / s.clusterSize
+	arriveAt := s.now - w + s.linkDelay
+	received := false
+	if s.roll(cl) {
+		s.losses++
+	} else {
+		aliveAtArrival := fl&fInactive == 0 &&
+			(s.killAt[e] == 0 || sim.Time(s.killAt[e]) > arriveAt)
+		if aliveAtArrival {
+			// The member processed the beat: its responder watchdog
+			// re-arms from the receipt time (the paper's responder bound).
+			s.wheel.Cancel(s.watch[e])
+			s.watch[e] = s.wheel.Schedule(arriveAt+s.respBound, kWatch<<kindShift|uint32(e))
+			if s.roll(cl) {
+				s.losses++
+			} else if 2*s.linkDelay < w {
+				received = true
+				s.replies++
+			}
+		}
+	}
+	next, ok := s.cfg.NextWait(core.Tick(w), received)
+	if !ok {
+		s.flags[e] = fl | fSuspected
+		s.clAlive[cl]--
+		s.clDet[cl]++
+		s.detections++
+		s.wheel.Cancel(s.watch[e])
+		s.watch[e] = sim.WheelTimer{}
+		if s.killAt[e] != 0 {
+			if lat := s.now - sim.Time(s.killAt[e]); int(lat) < len(s.latHist) {
+				s.latHist[lat]++
+			} else {
+				s.latOverflow++
+			}
+		} else {
+			s.falseSuspects++
+		}
+		return
+	}
+	s.wait[e] = int32(next)
+	s.wheel.Schedule(s.now+sim.Time(next), kRound<<kindShift|uint32(e))
+}
+
+//hbvet:noalloc
+// onWatch fires when a member went a whole responder bound without a
+// beat: it self-inactivates, exactly like the paper's responder.
+func (s *shard) onWatch(e int32) {
+	s.watch[e] = sim.WheelTimer{}
+	if s.flags[e]&(fInactive|fSuspected) == 0 {
+		s.flags[e] |= fInactive
+		s.inactivations++
+	}
+}
+
+//hbvet:noalloc
+// onKill crashes one live endpoint at random (the fault injector's tick)
+// and re-arms itself. A handful of draws that all land on dead rows
+// simply skip the tick.
+func (s *shard) onKill() {
+	for try := 0; try < 8; try++ {
+		e := int32(s.rng.Intn(len(s.flags)))
+		if s.flags[e]&(fKilled|fSuspected|fInactive) == 0 {
+			s.flags[e] |= fKilled
+			s.killAt[e] = int64(s.now)
+			s.kills++
+			break
+		}
+	}
+	s.wheel.Schedule(s.now+s.killEvery, kKill<<kindShift)
+}
+
+//hbvet:noalloc
+// emitSummaries encodes this shard's per-cluster rollups into the
+// outbound batches, one per destination shard, prefixed by a shard
+// liveness beat on every link. Buffers are reset in place, so the steady
+// state allocates nothing.
+func (s *shard) emitSummaries(epoch uint32) {
+	for d := range s.outbuf {
+		s.outbuf[d] = appendBeatFrame(s.outbuf[d][:0], core.Beat{From: core.ProcID(s.id), Stay: true})
+	}
+	for cl := range s.clAlive {
+		g := uint32(s.clusterLo) + uint32(cl)
+		dst := int(g/s.aggFanout) % s.numShards
+		s.outbuf[dst] = appendSummaryFrame(s.outbuf[dst], core.Summary{
+			Cluster:    g,
+			Epoch:      epoch,
+			Total:      uint32(s.clusterSize),
+			Alive:      uint32(s.clAlive[cl]),
+			Detections: s.clDet[cl],
+		})
+	}
+}
+
+// ingest decodes every source shard's batch for this shard, in source
+// order: liveness beats stamp the heard table, summaries accumulate into
+// the hosted aggregators. It runs strictly between epochs (the barrier in
+// Fleet.RunEpochs), so reading the other shards' outbufs is race-free.
+func (s *shard) ingest(shards []*shard, epoch uint32) error {
+	for a := range s.aggs {
+		ag := &s.aggs[a]
+		ag.seen = 0
+		ag.sum = core.Summary{Cluster: ag.id, Epoch: epoch}
+	}
+	for src := range shards {
+		d := batchDecoder{buf: shards[src].outbuf[s.id]}
+		for !d.done() {
+			tag, beat, sum, err := d.next()
+			if err != nil {
+				return err
+			}
+			switch tag {
+			case frameBeat:
+				s.heard[beat.From] = epoch
+			case frameSummary:
+				local := int(sum.Cluster/s.aggFanout) / s.numShards
+				ag := &s.aggs[local]
+				ag.sum.Add(sum)
+				ag.seen++
+			}
+		}
+	}
+	return nil
+}

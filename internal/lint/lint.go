@@ -93,6 +93,7 @@ var DefaultWallClockAllow = []string{
 	"internal/detector/detector.go", // WallClock implementation
 	"internal/netem/ticker.go",      // WallTicker implementation
 	"cmd/hbbench/main.go",           // benchmark timestamps and timings
+	"cmd/hbfleet/main.go",           // fleet benchmark timestamps and timings
 }
 
 // Analyzers returns the full suite in reporting order.

@@ -170,6 +170,13 @@ func explore(n *ta.Network, goal, prune func(*ta.State) bool, limit, workers int
 	if limit > math.MaxInt32-1 {
 		limit = math.MaxInt32 - 1 // ids are int32 internally
 	}
+	if workers == 1 {
+		// One goroutine gains nothing from the candidate/merge machinery;
+		// the direct-commit BFS in serial.go produces identical outputs at
+		// a fraction of the coordination cost (see BENCH_mc.json pr4 vs
+		// pr2 rows).
+		return exploreSerial(n, goal, prune, limit, withTrans)
+	}
 	init := n.Initial()
 	e := &explorer{
 		goal:      goal,

@@ -1,0 +1,132 @@
+package mc
+
+// Serial fast path for Workers <= 1.
+//
+// The level-synchronised parallel BFS (parallel.go) is byte-identical at
+// any worker count, but its machinery — candidate records, per-shard
+// seq-merges, a two-pass commit — is pure coordination overhead when one
+// goroutine explores. The pr4 rows in BENCH_mc.json show the cost: the
+// single-thread checker dropped from ~1.6M to ~1.2M states/s and from
+// ~280 to ~1600 allocs per check. This file restores the direct route: a
+// classic BFS that interns successors into a single store segment as it
+// discovers them, with no candidate buffers and no merges, while keeping
+// the exact observable semantics of the parallel engine so determinism
+// pins keep holding:
+//
+//   - states are committed in seq order (parent id, transition index) —
+//     for one worker that is simply discovery order;
+//   - the level containing a goal (or crossing the state limit) is still
+//     expanded in full, so TransitionsExplored matches;
+//   - the goal is only reported for committed states, and a goal in the
+//     same level as a limit crossing wins iff it was committed first;
+//   - recorded transitions carry the same final global ids (targets past
+//     the state limit stay -1, exactly like an unresolved candidate —
+//     phase D never runs on a limit hit).
+//
+// The explorer it returns is the same struct the parallel path builds
+// (single segment, single workerState), so rebuildTrace and mergeTrans
+// work unchanged.
+
+import (
+	"fmt"
+
+	"repro/internal/ta"
+)
+
+// exploreSerial is the Workers<=1 route around the parallel machinery.
+// Outputs are byte-identical to explore() with any worker count.
+func exploreSerial(n *ta.Network, goal, prune func(*ta.State) bool, limit int, withTrans bool) (*explorer, int, int, int, error) {
+	init := n.Initial()
+	e := &explorer{
+		goal:      goal,
+		prune:     prune,
+		limit:     limit,
+		withTrans: withTrans,
+		numLocs:   len(init.Locs),
+		numClocks: len(init.Clocks),
+		keyLen:    init.KeyLen(),
+	}
+	seg := &segment{stateStore: *newStateStore(minTableSize)}
+	e.segs[0] = seg
+	ws := &workerState{ctx: n.NewSuccCtx(), scratch: init.Clone()}
+	e.ws = []*workerState{ws}
+
+	key := init.AppendKey(make([]byte, 0, e.keyLen))
+	local, _ := seg.internHashed(key, hashKey(key))
+	seg.gids = append(seg.gids, 0)
+	e.index = append(e.index, packLoc(0, local))
+	e.info = append(e.info, nodeInfo{parent: -1})
+	if goal != nil && goal(&init) {
+		return e, 0, 1, 0, nil
+	}
+
+	levelStart, levelEnd := 0, 1
+	for levelStart < levelEnd {
+		goalID := -1
+		limitHit := false
+		for gid := levelStart; gid < levelEnd; gid++ {
+			e.expandStateSerial(ws, gid, &goalID, &limitHit)
+		}
+		if goalID >= 0 {
+			return e, goalID, len(e.index), ws.transitions, nil
+		}
+		if limitHit {
+			return e, -1, len(e.index), ws.transitions,
+				fmt.Errorf("%w: %d states", ErrStateLimit, e.limit)
+		}
+		levelStart, levelEnd = levelEnd, len(e.index)
+	}
+	return e, -1, len(e.index), ws.transitions, nil
+}
+
+//hbvet:noalloc
+// expandStateSerial generates gid's successors and commits first
+// occurrences directly: lookup, intern, assign the global id, check the
+// goal — one pass, no candidate records. Same-level duplicates dedup
+// against the live table (the parallel engine's frozen-probe + seq-merge
+// reaches the identical first-occurrence winner, because serial discovery
+// order IS seq order).
+func (e *explorer) expandStateSerial(ws *workerState, gid int, goalID *int, limitHit *bool) {
+	ws.scratch.DecodeKey(e.key(gid), e.numLocs, e.numClocks)
+	if e.prune != nil && e.prune(&ws.scratch) {
+		return
+	}
+	// Successors recycles ws.buf per the SuccCtx contract (see workerState).
+	ws.buf = ws.ctx.Successors(&ws.scratch, ws.buf[:0])
+	ws.transitions += len(ws.buf)
+	seg := e.segs[0]
+	base := uint64(gid) << seqTransBits
+	for i := range ws.buf {
+		tr := &ws.buf[i]
+		ws.keyBuf = tr.Target.AppendKey(ws.keyBuf[:0])
+		h := hashKey(ws.keyBuf)
+		if local, ok := seg.lookupHashed(ws.keyBuf, h); ok {
+			if e.withTrans {
+				ws.trans = append(ws.trans, rawTrans{seq: base | uint64(i), from: int32(gid), to: seg.gids[local], label: tr.Label})
+			}
+			continue
+		}
+		if *limitHit || len(e.index) >= e.limit {
+			// Past the limit nothing commits; the target stays unresolved
+			// (-1), matching a candidate the parallel engine never ran
+			// phase D over. The rest of the level still expands so the
+			// transition count matches.
+			*limitHit = true
+			if e.withTrans {
+				ws.trans = append(ws.trans, rawTrans{seq: base | uint64(i), from: int32(gid), to: -1, label: tr.Label})
+			}
+			continue
+		}
+		local, _ := seg.internHashed(ws.keyBuf, h)
+		newGid := len(e.index)
+		seg.gids = append(seg.gids, int32(newGid))
+		e.index = append(e.index, packLoc(0, local))
+		e.info = append(e.info, nodeInfo{parent: gid, label: tr.Label, delay: tr.Delay})
+		if *goalID < 0 && e.goal != nil && e.goal(&tr.Target) {
+			*goalID = newGid
+		}
+		if e.withTrans {
+			ws.trans = append(ws.trans, rawTrans{seq: base | uint64(i), from: int32(gid), to: int32(newGid), label: tr.Label})
+		}
+	}
+}

@@ -42,8 +42,9 @@ type timerNode struct {
 	at      Time
 	seq     uint64
 	fn      Event
-	heapIdx int32 // position in the heap; -1 when not queued
+	heapIdx int32 // position in the heap; -1 when not queued (heap backend)
 	gen     uint32
+	wt      WheelTimer // wheel handle (wheel backend)
 }
 
 // Timer is a value handle to a scheduled event. Its zero value is inert;
@@ -83,7 +84,17 @@ func (t Timer) Cancel() bool {
 		return false
 	}
 	nd := &s.nodes[t.idx]
-	if nd.gen != t.gen || nd.heapIdx < 0 {
+	if nd.gen != t.gen {
+		return false
+	}
+	if s.wheel != nil {
+		if !s.wheel.Cancel(nd.wt) {
+			return false
+		}
+		s.release(t.idx)
+		return true
+	}
+	if nd.heapIdx < 0 {
 		return false
 	}
 	s.heapRemove(int(nd.heapIdx))
@@ -101,6 +112,9 @@ type Simulator struct {
 	rng       *rand.Rand
 	executed  uint64
 	scheduled uint64
+	// wheel, when non-nil, replaces the 4-ary heap as the event queue;
+	// firing order is identical (see WithTimerWheel).
+	wheel *TimerWheel
 }
 
 // Option configures a Simulator.
@@ -110,6 +124,16 @@ type Option func(*Simulator)
 // same seed and the same scheduling sequence behave identically.
 func WithSeed(seed int64) Option {
 	return func(s *Simulator) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithTimerWheel replaces the 4-ary heap event queue with the
+// hierarchical timer wheel: O(1) Schedule/Cancel instead of O(log n),
+// built for fleet-scale working sets of hundreds of thousands of pending
+// timers. Execution order is bit-for-bit identical to the heap —
+// (time, schedule order), pinned by the property tests in wheel_test.go —
+// so any run may switch backends without changing its trace.
+func WithTimerWheel() Option {
+	return func(s *Simulator) { s.wheel = NewTimerWheel() }
 }
 
 // New returns a Simulator with virtual time 0.
@@ -135,7 +159,12 @@ func (s *Simulator) EventsScheduled() uint64 { return s.scheduled }
 
 // Pending returns the exact number of events waiting in the queue
 // (cancelled timers are removed eagerly, so none linger).
-func (s *Simulator) Pending() int { return len(s.heap) }
+func (s *Simulator) Pending() int {
+	if s.wheel != nil {
+		return s.wheel.Len()
+	}
+	return len(s.heap)
+}
 
 //hbvet:noalloc
 // Schedule runs fn after d ticks. A negative d is an error; d == 0 runs fn
@@ -172,7 +201,11 @@ func (s *Simulator) scheduleAt(t Time, fn Event) Timer {
 	}
 	nd := &s.nodes[idx]
 	nd.at, nd.seq, nd.fn = t, s.seq, fn
-	s.heapPush(idx)
+	if s.wheel != nil {
+		nd.wt = s.wheel.Schedule(t, uint32(idx))
+	} else {
+		s.heapPush(idx)
+	}
 	return Timer{s: s, idx: idx, gen: nd.gen}
 }
 
@@ -191,10 +224,19 @@ func (s *Simulator) release(idx int32) {
 // scheduled tick. It reports whether an event was executed; false means the
 // queue is empty.
 func (s *Simulator) Step() bool {
-	if len(s.heap) == 0 {
-		return false
+	var idx int32
+	if s.wheel != nil {
+		payload, _, ok := s.wheel.Pop()
+		if !ok {
+			return false
+		}
+		idx = int32(payload)
+	} else {
+		if len(s.heap) == 0 {
+			return false
+		}
+		idx = s.heapRemove(0)
 	}
-	idx := s.heapRemove(0)
 	nd := &s.nodes[idx]
 	s.now = nd.at
 	s.executed++
@@ -218,8 +260,18 @@ func (s *Simulator) Run() Time {
 // the clock to deadline (even if the queue drained earlier or later events
 // remain pending).
 func (s *Simulator) RunUntil(deadline Time) Time {
-	for len(s.heap) > 0 && s.nodes[s.heap[0]].at <= deadline {
-		s.Step()
+	if s.wheel != nil {
+		for {
+			at, ok := s.wheel.NextAt()
+			if !ok || at > deadline {
+				break
+			}
+			s.Step()
+		}
+	} else {
+		for len(s.heap) > 0 && s.nodes[s.heap[0]].at <= deadline {
+			s.Step()
+		}
 	}
 	if s.now < deadline {
 		s.now = deadline

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestWheelFireOrderMatchesReference pops a randomized schedule out of the
+// wheel and checks the exact (time, sequence) order against a sorted
+// reference, across delays that exercise every wheel level and the
+// cascade paths between them.
+func TestWheelFireOrderMatchesReference(t *testing.T) {
+	type entry struct {
+		at      Time
+		seq     int
+		payload uint32
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewTimerWheel()
+		var want []entry
+		base := Time(0)
+		for i := 0; i < 5000; i++ {
+			var d Time
+			switch rng.Intn(10) {
+			case 0:
+				d = 0
+			case 1, 2, 3:
+				d = Time(rng.Int63n(wheelSlots)) // level 0
+			case 4, 5, 6:
+				d = Time(rng.Int63n(wheelSlots * wheelSlots)) // level 1
+			case 7, 8:
+				d = Time(rng.Int63n(1 << (wheelSlotBits * 3))) // level 2
+			default:
+				d = Time(rng.Int63n(1 << (wheelSlotBits * 4))) // level 3
+			}
+			at := base + d
+			w.Schedule(at, uint32(i))
+			want = append(want, entry{at: at, seq: i, payload: uint32(i)})
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].at != want[b].at {
+				return want[a].at < want[b].at
+			}
+			return want[a].seq < want[b].seq
+		})
+		for i, e := range want {
+			payload, at, ok := w.Pop()
+			if !ok {
+				t.Fatalf("seed %d: wheel drained after %d pops, want %d", seed, i, len(want))
+			}
+			if payload != e.payload || at != e.at {
+				t.Fatalf("seed %d: pop %d = (payload %d, at %d), want (%d, %d)",
+					seed, i, payload, at, e.payload, e.at)
+			}
+		}
+		if _, _, ok := w.Pop(); ok {
+			t.Fatalf("seed %d: wheel not empty after draining", seed)
+		}
+		if w.Len() != 0 {
+			t.Fatalf("seed %d: Len() = %d after drain", seed, w.Len())
+		}
+	}
+}
+
+// TestWheelRandomOpsMatchHeapSimulator drives two simulators — one on the
+// 4-ary heap, one on the wheel — through an identical randomized program
+// of schedules, cancels, re-arms, and partial runs, and requires
+// bit-identical traces. This is the satellite property test: the wheel
+// must be a drop-in replacement for the heap.
+func TestWheelRandomOpsMatchHeapSimulator(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		traceHeap := runRandomProgram(t, seed, false)
+		traceWheel := runRandomProgram(t, seed, true)
+		if len(traceHeap) != len(traceWheel) {
+			t.Fatalf("seed %d: trace lengths differ: heap %d, wheel %d",
+				seed, len(traceHeap), len(traceWheel))
+		}
+		for i := range traceHeap {
+			if traceHeap[i] != traceWheel[i] {
+				t.Fatalf("seed %d: trace[%d] differs: heap %+v, wheel %+v",
+					seed, i, traceHeap[i], traceWheel[i])
+			}
+		}
+	}
+}
+
+type fireRecord struct {
+	at Time
+	id int
+}
+
+// runRandomProgram executes a deterministic mixed workload (periodic
+// re-arming timers, random one-shots, cancels, RunUntil windows) against
+// either backend and returns the fire trace.
+func runRandomProgram(t *testing.T, seed int64, wheel bool) []fireRecord {
+	t.Helper()
+	opts := []Option{WithSeed(seed)}
+	if wheel {
+		opts = append(opts, WithTimerWheel())
+	}
+	s := New(opts...)
+	rng := rand.New(rand.NewSource(seed * 977))
+	var trace []fireRecord
+	nextID := 0
+	var live []Timer
+
+	var arm func(id int, d Time)
+	arm = func(id int, d Time) {
+		tm, err := s.Schedule(d, func() {
+			trace = append(trace, fireRecord{at: s.Now(), id: id})
+			// A third of timers re-arm themselves (watchdog pattern),
+			// deterministically from the id so both backends agree.
+			if id%3 == 0 {
+				arm(id, Time(1+id%97))
+			}
+		})
+		if err != nil {
+			t.Fatalf("schedule: %v", err)
+		}
+		live = append(live, tm)
+	}
+
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			var d Time
+			switch rng.Intn(8) {
+			case 0:
+				d = 0
+			case 1, 2, 3:
+				d = Time(rng.Int63n(300))
+			case 4, 5:
+				d = Time(rng.Int63n(70_000))
+			default:
+				d = Time(rng.Int63n(3_000_000))
+			}
+			arm(nextID, d)
+			nextID++
+		}
+		// Cancel a few random handles; stale handles are no-ops on both
+		// backends, so picking from the full history is fine.
+		for i := 0; i < rng.Intn(5); i++ {
+			if len(live) == 0 {
+				break
+			}
+			live[rng.Intn(len(live))].Cancel()
+		}
+		// Advance a random window; occasionally single-step instead.
+		if rng.Intn(4) == 0 {
+			s.Step()
+		} else {
+			s.RunUntil(s.Now() + Time(rng.Int63n(4_000)))
+		}
+		if rng.Intn(8) == 0 {
+			// Stop re-arm chains from keeping the run infinite: drop every
+			// pending timer.
+			for _, tm := range live {
+				tm.Cancel()
+			}
+			live = live[:0]
+		}
+	}
+	for _, tm := range live {
+		tm.Cancel()
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("seed %d wheel=%v: %d timers still pending after cancel sweep", seed, wheel, got)
+	}
+	return trace
+}
+
+// TestWheelCancelSemantics pins the cancel edge cases: zero-value
+// handles, double cancel, cancel of a collected-but-unpopped (due) entry,
+// and handle reuse across generations.
+func TestWheelCancelSemantics(t *testing.T) {
+	w := NewTimerWheel()
+	if w.Cancel(WheelTimer{}) {
+		t.Fatal("zero-value handle cancelled something")
+	}
+	a := w.Schedule(10, 1)
+	b := w.Schedule(10, 2)
+	c := w.Schedule(10, 3)
+	if !w.Cancel(b) {
+		t.Fatal("first cancel failed")
+	}
+	if w.Cancel(b) {
+		t.Fatal("double cancel reported success")
+	}
+	// Peek collects the tick-10 slot into the due buffer; cancelling a
+	// due entry must still work and must not break the pop sequence.
+	if at, ok := w.NextAt(); !ok || at != 10 {
+		t.Fatalf("NextAt = (%d, %v), want (10, true)", at, ok)
+	}
+	if !w.Cancel(c) {
+		t.Fatal("cancel of due entry failed")
+	}
+	if w.Active(c) {
+		t.Fatal("cancelled due entry still active")
+	}
+	payload, at, ok := w.Pop()
+	if !ok || payload != 1 || at != 10 {
+		t.Fatalf("Pop = (%d, %d, %v), want (1, 10, true)", payload, at, ok)
+	}
+	if w.Cancel(a) {
+		t.Fatal("cancel of fired entry reported success")
+	}
+	if _, _, ok := w.Pop(); ok {
+		t.Fatal("wheel should be empty")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", w.Len())
+	}
+	// The freed nodes are reused; stale handles must stay inert.
+	d := w.Schedule(20, 4)
+	if w.Cancel(a) || w.Cancel(b) || w.Cancel(c) {
+		t.Fatal("stale handle cancelled a reused node")
+	}
+	if !w.Active(d) {
+		t.Fatal("fresh handle not active")
+	}
+}
+
+// TestWheelScheduleBelowHorizon pins the peek-ahead contract: NextAt may
+// advance the wheel's horizon past the caller's clock, and a subsequent
+// Schedule below the horizon still fires in exact (time, seq) order.
+func TestWheelScheduleBelowHorizon(t *testing.T) {
+	w := NewTimerWheel()
+	w.Schedule(100, 1)
+	if at, ok := w.NextAt(); !ok || at != 100 {
+		t.Fatalf("NextAt = (%d, %v), want (100, true)", at, ok)
+	}
+	if w.Now() != 100 {
+		t.Fatalf("horizon = %d, want 100 after peek", w.Now())
+	}
+	// Caller's clock is still < 100; it schedules for t=50 and t=100.
+	w.Schedule(50, 2)
+	w.Schedule(100, 3)
+	wantOrder := []struct {
+		payload uint32
+		at      Time
+	}{{2, 50}, {1, 100}, {3, 100}}
+	for i, want := range wantOrder {
+		payload, at, ok := w.Pop()
+		if !ok || payload != want.payload || at != want.at {
+			t.Fatalf("pop %d = (%d, %d, %v), want (%d, %d, true)",
+				i, payload, at, ok, want.payload, want.at)
+		}
+	}
+}
+
+// TestWheelHorizonPanic pins the overflow policy: scheduling beyond the
+// 2^48-tick horizon panics rather than silently misfiling.
+func TestWheelHorizonPanic(t *testing.T) {
+	w := NewTimerWheel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected horizon panic")
+		}
+	}()
+	w.Schedule(1<<(wheelSlotBits*wheelLevels), 0)
+}
+
+// TestWheelSteadyStateAllocFree pins the wheel's own 0-alloc steady
+// state: once the arena and due buffer are warm, schedule/cancel/pop
+// cycles allocate nothing.
+func TestWheelSteadyStateAllocFree(t *testing.T) {
+	w := NewTimerWheel()
+	var at Time
+	cycle := func() {
+		at += 3
+		a := w.Schedule(at+7, 1)
+		b := w.Schedule(at+13, 2)
+		w.Schedule(at+257, 3) // level-1 insert + later cascade
+		w.Cancel(b)
+		_ = a
+		for {
+			nx, ok := w.NextAt()
+			if !ok || nx > at {
+				break
+			}
+			w.Pop()
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		cycle() // warm the arena, free list, and due buffer
+	}
+	if avg := testing.AllocsPerRun(2000, cycle); avg != 0 {
+		t.Fatalf("steady-state wheel cycle allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestSimulatorWheelAllocFree mirrors sim/alloc_test.go for the wheel
+// backend: the Simulator's schedule/step hot path stays 0-alloc.
+func TestSimulatorWheelAllocFree(t *testing.T) {
+	s := New(WithTimerWheel())
+	fns := make([]Event, 64)
+	for i := range fns {
+		fns[i] = func() {}
+	}
+	i := 0
+	cycle := func() {
+		fn := fns[i%len(fns)]
+		i++
+		tm, err := s.Schedule(Time(i%11), fn)
+		if err != nil {
+			t.Fatalf("schedule: %v", err)
+		}
+		if i%5 == 0 {
+			tm.Cancel()
+		}
+		s.RunUntil(s.Now() + 2)
+	}
+	for j := 0; j < 500; j++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(2000, cycle); avg != 0 {
+		t.Fatalf("steady-state wheel-backed simulator allocates %.2f/op, want 0", avg)
+	}
+}
