@@ -10,6 +10,11 @@
 //	hbconform -variant binary -tmin 2 -tmax 4 -fixed -horizon 30 \
 //	    -schedule 'crash t=9 node=0' -mutate expiry+1
 //
+// With -stream the single run is checked online while it executes
+// (internal/conform.StreamChecker) instead of by offline replay: incidents
+// are reported as they fire, violations are cross-checked against the
+// model inline, and a divergence is shrunk to a minimal reproduction.
+//
 // Exit status 1 when any divergence or verdict mismatch is found.
 package main
 
@@ -83,38 +88,40 @@ func run(args []string, w io.Writer) int {
 		horizon   = fs.Int("horizon", 0, "virtual run length; > 0 selects single-run mode")
 		maxDelay  = fs.Int("maxdelay", 0, "per-direction link delay bound (single-run mode)")
 		mutate    = fs.String("mutate", "", "inject a named detector defect (single-run mode)")
+		stream    = fs.Bool("stream", false, "check online while the run executes (single-run mode)")
 		workers   = fs.Int("workers", 1, "concurrent walks per campaign; results are identical at any count (walk mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *horizon > 0 {
+		if *stream {
+			return runStreamSingle(w, *variant, *tmin, *tmax, *n, *fixed, *horizon, *maxDelay, *seed, *maxStates, *schedule, *mutate)
+		}
 		return runSingle(w, *variant, *tmin, *tmax, *n, *fixed, *horizon, *maxDelay, *seed, *maxStates, *schedule, *mutate)
 	}
-	if *schedule != "" || *mutate != "" {
-		fmt.Fprintln(w, "hbconform: -schedule/-mutate need single-run mode (set -horizon)")
+	if *schedule != "" || *mutate != "" || *stream {
+		fmt.Fprintln(w, "hbconform: -schedule/-mutate/-stream need single-run mode (set -horizon)")
 		return 2
 	}
 	return runWalks(w, *variant, *walks, *seed, *maxStates, *shrink, *workers)
 }
 
-func runSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, horizon, maxDelay int, seed int64, maxStates int, schedule, mutate string) int {
+// singleConfig assembles the RunConfig for single-run mode from flags.
+func singleConfig(variantName string, tmin, tmax, n int, fixed bool, horizon, maxDelay int, seed int64, schedule, mutate string) (conform.RunConfig, error) {
 	v, err := parseVariant(variantName)
 	if err != nil {
-		fmt.Fprintf(w, "hbconform: %v\n", err)
-		return 2
+		return conform.RunConfig{}, err
 	}
 	sched, err := loadSchedule(schedule)
 	if err != nil {
-		fmt.Fprintf(w, "hbconform: schedule: %v\n", err)
-		return 2
+		return conform.RunConfig{}, fmt.Errorf("schedule: %v", err)
 	}
 	wrap, err := conform.Mutation(mutate)
 	if err != nil {
-		fmt.Fprintf(w, "hbconform: %v\n", err)
-		return 2
+		return conform.RunConfig{}, err
 	}
-	rc := conform.RunConfig{
+	return conform.RunConfig{
 		Model: models.Config{
 			TMin: int32(tmin), TMax: int32(tmax),
 			Variant: v, N: n, Fixed: fixed,
@@ -124,6 +131,14 @@ func runSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, h
 		MaxDelay: core.Tick(maxDelay),
 		Schedule: sched,
 		Wrap:     wrap,
+	}, nil
+}
+
+func runSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, horizon, maxDelay int, seed int64, maxStates int, schedule, mutate string) int {
+	rc, err := singleConfig(variantName, tmin, tmax, n, fixed, horizon, maxDelay, seed, schedule, mutate)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: %v\n", err)
+		return 2
 	}
 	opts := mc.Options{MaxStates: maxStates}
 	sp, err := conform.BuildSpec(rc.Model, opts)
@@ -137,7 +152,7 @@ func runSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, h
 		return 2
 	}
 	fmt.Fprintf(w, "run %s: tmin=%d tmax=%d n=%d fixed=%v seed=%d horizon=%d events=%d lost=%d\n",
-		v, tmin, tmax, n, fixed, seed, horizon, len(out.Events), out.Lost)
+		rc.Model.Variant, tmin, tmax, n, fixed, seed, horizon, len(out.Events), out.Lost)
 
 	status := 0
 	if d := sp.CheckTrace(out.Events, rc.Horizon); d != nil {
@@ -173,6 +188,85 @@ func runSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, h
 		for _, viol := range d.Runtime {
 			fmt.Fprintf(w, "verdict %v violated at t=%d (p[%d]): %s\n", d.Prop, viol.Time, viol.Proc, state)
 		}
+	}
+	return status
+}
+
+// runStreamSingle checks one deterministic run online: the stream checker
+// rides the cluster as its observer, violations are cross-checked against
+// the model checker as they fire, and a divergence is shrunk to a minimal
+// offline reproduction before reporting.
+func runStreamSingle(w io.Writer, variantName string, tmin, tmax, n int, fixed bool, horizon, maxDelay int, seed int64, maxStates int, schedule, mutate string) int {
+	rc, err := singleConfig(variantName, tmin, tmax, n, fixed, horizon, maxDelay, seed, schedule, mutate)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: %v\n", err)
+		return 2
+	}
+	opts := mc.Options{MaxStates: maxStates}
+	cc := &conform.CampaignCheck{Model: rc.Model, Opts: opts}
+	verify := func(cfg models.Config, p models.Property) (models.Verdict, error) {
+		return models.Verify(cfg, p, opts)
+	}
+	sc, err := conform.NewStreamChecker(conform.StreamConfig{
+		Check: cc, Horizon: rc.Horizon, Verify: verify,
+	})
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: %v\n", err)
+		return 2
+	}
+	res, err := conform.RunStream(rc, sc)
+	if err != nil {
+		fmt.Fprintf(w, "hbconform: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(w, "stream %s: tmin=%d tmax=%d n=%d fixed=%v seed=%d horizon=%d events=%d frontier=%d\n",
+		rc.Model.Variant, tmin, tmax, n, fixed, seed, horizon, res.Events, res.MaxFrontierSeen)
+
+	status := 0
+	switch {
+	case res.Unconfirmed != nil:
+		status = 1
+		inc := res.Unconfirmed
+		if sp, err := cc.Spec(); err == nil {
+			if shr, sdiv, err := conform.ShrinkRun(rc, sp); err == nil && sdiv != nil {
+				inc.Shrunk, inc.ShrunkDiv = &shr, sdiv
+			}
+		}
+		fmt.Fprintln(w)
+		if err := inc.Render(w, "trace before divergence"); err != nil {
+			fmt.Fprintf(w, "hbconform: render: %v\n", err)
+			return 2
+		}
+		if src := inc.Shrunk; src != nil {
+			fmt.Fprintf(w, "\nshrunk reproduction:\n  hbconform -variant %s -tmin %d -tmax %d -n %d -fixed=%v -seed %d -horizon %d -maxdelay %d",
+				src.Model.Variant, src.Model.TMin, src.Model.TMax, src.Model.N, src.Model.Fixed, src.Seed, src.Horizon, src.MaxDelay)
+			if src.Schedule != nil {
+				fmt.Fprintf(w, " -schedule '%s'", strings.TrimSpace(strings.ReplaceAll(src.Schedule.Format(), "\n", "; ")))
+			}
+			if mutate != "" {
+				fmt.Fprintf(w, " -mutate %s", mutate)
+			}
+			fmt.Fprintln(w)
+		}
+	case res.Shed:
+		fmt.Fprintf(w, "stream inclusion: shed at frontier budget (%d events unchecked)\n", res.ShedEvents)
+	default:
+		fmt.Fprintln(w, "stream inclusion: conforms")
+	}
+
+	violations := 0
+	for _, inc := range res.Incidents {
+		if inc.Kind != conform.IncidentViolation {
+			continue
+		}
+		violations++
+		fmt.Fprintf(w, "incident: %s\n", inc)
+		if inc.Verified && !inc.ModelAgrees {
+			status = 1
+		}
+	}
+	if violations == 0 {
+		fmt.Fprintln(w, "verdicts: no R1-R3 violations observed")
 	}
 	return status
 }

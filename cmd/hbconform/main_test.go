@@ -67,6 +67,64 @@ func TestConformGoldenConsistentViolation(t *testing.T) {
 		"-seed", "5")
 }
 
+// TestConformGoldenStreamMutant pins the online-checking output for the
+// expiry+1 mutant: the stream checker catches the same divergence as
+// offline replay (the MSC render is byte-identical), then attaches a
+// shrunk offline reproduction to the incident.
+func TestConformGoldenStreamMutant(t *testing.T) {
+	checkGolden(t, "stream_mutant", 1,
+		"-stream", "-variant", "binary", "-tmin", "2", "-tmax", "4", "-fixed",
+		"-horizon", "30", "-schedule", "crash t=9 node=0",
+		"-mutate", "expiry+1", "-seed", "3")
+}
+
+// TestConformGoldenStreamClean pins the conforming online-checking output.
+func TestConformGoldenStreamClean(t *testing.T) {
+	checkGolden(t, "stream_clean", 0,
+		"-stream", "-variant", "binary", "-tmin", "2", "-tmax", "4", "-fixed",
+		"-horizon", "24", "-seed", "1")
+}
+
+// TestConformGoldenStreamViolation pins the incident line for a runtime
+// R1 violation the model confirms reachable: reported online through the
+// incident path, exit status stays 0.
+func TestConformGoldenStreamViolation(t *testing.T) {
+	checkGolden(t, "stream_violation", 0,
+		"-stream", "-variant", "binary", "-tmin", "1", "-tmax", "3",
+		"-horizon", "20", "-schedule", "loss t=0 all pgb=1 pbg=0 lb=1",
+		"-seed", "5")
+}
+
+// TestStreamRenderMatchesOffline requires the streamed divergence report
+// to embed the exact MSC render the offline checker produces for the same
+// run — the byte-identical-incident contract, checked end to end through
+// the CLI.
+func TestStreamRenderMatchesOffline(t *testing.T) {
+	args := []string{
+		"-variant", "binary", "-tmin", "2", "-tmax", "4", "-fixed",
+		"-horizon", "30", "-schedule", "crash t=9 node=0",
+		"-mutate", "expiry+1", "-seed", "3",
+	}
+	var offline, stream bytes.Buffer
+	if code := run(args, &offline); code != 1 {
+		t.Fatalf("offline run = %d, want 1\n%s", code, offline.String())
+	}
+	if code := run(append([]string{"-stream"}, args...), &stream); code != 1 {
+		t.Fatalf("stream run = %d, want 1\n%s", code, stream.String())
+	}
+	off := offline.Bytes()
+	start := bytes.Index(off, []byte("trace before divergence"))
+	end := bytes.Index(off, []byte("model allows: "))
+	if start < 0 || end < start {
+		t.Fatalf("offline output has no divergence section:\n%s", offline.String())
+	}
+	section := off[start : end+bytes.IndexByte(off[end:], '\n')+1]
+	if !bytes.Contains(stream.Bytes(), section) {
+		t.Fatalf("stream output does not embed the offline render:\noffline:\n%s\nstream:\n%s",
+			offline.String(), stream.String())
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if code := run([]string{"-variant", "nope", "-horizon", "5"}, &buf); code != 2 {
@@ -75,5 +133,9 @@ func TestBadFlags(t *testing.T) {
 	buf.Reset()
 	if code := run([]string{"-mutate", "expiry+1"}, &buf); code != 2 {
 		t.Fatalf("mutate without -horizon: run = %d, want 2\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-stream"}, &buf); code != 2 {
+		t.Fatalf("stream without -horizon: run = %d, want 2\n%s", code, buf.String())
 	}
 }

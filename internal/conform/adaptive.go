@@ -86,89 +86,34 @@ func confirmedByDesign(label string) bool {
 // the piecewise check an over-approximation after the first confirmed
 // divergence: it can miss a real divergence, never invent one, so "zero
 // unconfirmed divergences" remains a sound campaign gate.
+// Like Spec.CheckTrace it is a thin offline loop over the incremental
+// streamEngine, so offline piecewise replay and online streaming
+// (StreamChecker over an envelope) return identical results by
+// construction.
 func (c *CampaignCheck) CheckTraceAdaptive(events []Event, horizon core.Tick) (*PiecewiseResult, error) {
 	if c.Envelope == nil {
 		return nil, fmt.Errorf("%w: CheckTraceAdaptive needs an envelope", ErrUnsupported)
 	}
-	env := *c.Envelope
-	sp, err := c.SpecAt(0)
+	e, err := newAdaptiveEngine(c, 0)
 	if err != nil {
 		return nil, err
 	}
 	res := &PiecewiseResult{}
-	ck := newChecker(sp)
-	level := 0
-	degraded := false
-	now := core.Tick(0)
-	diverge := func(idx int, label string) *Divergence {
-		return &Divergence{
-			Cfg: sp.Cfg, Events: events, Index: idx,
-			Time: now, Label: label, Expected: ck.enabled(),
-		}
-	}
-	// advance time to target; in degraded mode time passes unchecked.
-	advance := func(to core.Tick, idx int) *Divergence {
-		if degraded {
-			now = to
-			return nil
-		}
-		for now < to {
-			if !ck.step(sp.tickID) {
-				return diverge(idx, LabelTick)
-			}
-			now++
-		}
-		return nil
-	}
 	for i, ev := range events {
-		if d := advance(ev.Time, i); d != nil {
-			res.Unconfirmed = d
+		d, err := e.feed(i, ev)
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			res.Unconfirmed = d.divergence(events)
+			e.fill(res)
 			return res, nil
 		}
-		if id, known := sp.labelIDs[ev.Label]; known {
-			if degraded {
-				continue
-			}
-			if ck.step(id) {
-				continue
-			}
-		}
-		if tmin, tmax, ok := parseRetune(ev.Label); ok {
-			next, ok := envelopeLevelOf(env, tmin, tmax)
-			if !ok {
-				res.Unconfirmed = diverge(i, ev.Label)
-				return res, nil
-			}
-			res.Retunes++
-			if next == level {
-				degraded = true
-				res.Saturations++
-				continue
-			}
-			degraded = false
-			level = next
-			res.FinalLevel = level
-			if sp, err = c.SpecAt(level); err != nil {
-				return nil, err
-			}
-			ck = newCheckerAll(sp)
-			continue
-		}
-		switch {
-		case confirmedByDesign(ev.Label):
-			res.Confirmed++
-		case degraded:
-			res.Degraded++
-			continue
-		default:
-			res.Unconfirmed = diverge(i, ev.Label)
-			return res, nil
-		}
-		ck = newCheckerAll(sp)
 	}
-	if d := advance(horizon, len(events)); d != nil {
-		res.Unconfirmed = d
+	if d := e.finish(horizon, len(events)); d != nil {
+		res.Unconfirmed = d.divergence(events)
 	}
+	e.fill(res)
 	return res, nil
 }
 

@@ -182,33 +182,19 @@ func (c *checker) enabled() []string {
 // of time up to horizon) is matched by some model execution. Events must
 // be in recorded order; an event timestamped earlier than the checker's
 // current time (possible under wall clocks) is replayed at the current
-// time.
+// time. It is a thin offline loop over the incremental streamEngine, so
+// replaying a recorded trace and streaming it (StreamChecker) return
+// identical results by construction.
 func (sp *Spec) CheckTrace(events []Event, horizon core.Tick) *Divergence {
-	c := newChecker(sp)
-	now := core.Tick(0)
-	diverge := func(idx int, label string) *Divergence {
-		return &Divergence{
-			Cfg: sp.Cfg, Events: events, Index: idx,
-			Time: now, Label: label, Expected: c.enabled(),
-		}
-	}
-	advance := func(to core.Tick, idx int) *Divergence {
-		for now < to {
-			if !c.step(sp.tickID) {
-				return diverge(idx, LabelTick)
-			}
-			now++
-		}
-		return nil
-	}
+	e := newStreamEngine(sp, 0)
 	for i, ev := range events {
-		if d := advance(ev.Time, i); d != nil {
-			return d
-		}
-		id, known := sp.labelIDs[ev.Label]
-		if !known || !c.step(id) {
-			return diverge(i, ev.Label)
+		// A plain engine's feed never errors (no level switches).
+		if d, _ := e.feed(i, ev); d != nil {
+			return d.divergence(events)
 		}
 	}
-	return advance(horizon, len(events))
+	if d := e.finish(horizon, len(events)); d != nil {
+		return d.divergence(events)
+	}
+	return nil
 }

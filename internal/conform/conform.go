@@ -47,6 +47,7 @@ package conform
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -94,14 +95,35 @@ const labelTimeoutP0 = "timeout p[0]"
 // part of any single model's alphabet — the piecewise checker
 // (CheckTraceAdaptive) consumes it by switching to the specification of
 // the target operating point.
+const retunePrefix = "p[0]: retune to ("
+
 func labelRetune(tmin, tmax core.Tick) string {
 	return fmt.Sprintf("p[0]: retune to (%d,%d)", tmin, tmax)
 }
 
-// parseRetune extracts the operating point of a retune label.
-func parseRetune(label string) (tmin, tmax int32, ok bool) {
+// parseRetune extracts the operating point of a retune label. It is
+// strict: the label must round-trip through labelRetune exactly. The
+// earlier Sscanf implementation accepted trailing junk ("p[0]: retune to
+// (2,4)x" parsed as a valid retune), which FuzzStreamChecker caught — a
+// malformed label would have been confirmed as an envelope transition
+// and reseeded the piecewise checker's frontier.
+func parseRetune(label string) (int32, int32, bool) {
+	// Cheap prefix reject first, in its own frame: the piecewise checker
+	// calls this on every out-of-alphabet label, and the slow path's
+	// Sscanf arguments escape (heap-allocating even on a miss) if they
+	// share a frame with this check.
+	if !strings.HasPrefix(label, retunePrefix) {
+		return 0, 0, false
+	}
+	return parseRetuneSlow(label)
+}
+
+func parseRetuneSlow(label string) (tmin, tmax int32, ok bool) {
 	n, err := fmt.Sscanf(label, "p[0]: retune to (%d,%d)", &tmin, &tmax)
-	return tmin, tmax, err == nil && n == 2
+	if err != nil || n != 2 || label != labelRetune(core.Tick(tmin), core.Tick(tmax)) {
+		return 0, 0, false
+	}
+	return tmin, tmax, true
 }
 
 // parseLabel matches a label against a one-verb format like

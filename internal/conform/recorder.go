@@ -43,9 +43,17 @@ func (r *Recorder) Reset() {
 func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigger, actions []core.Action) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	add := func(label string) {
+	abstractStep(func(label string) {
 		r.events = append(r.events, Event{Time: now, Label: label})
-	}
+	}, id, tr, actions)
+}
+
+// abstractStep maps one machine step (trigger plus returned actions) onto
+// zero or more model-alphabet labels, emitted through add in order. It is
+// the single abstraction shared by the Recorder (which retains events)
+// and the StreamChecker (which checks and discards them), so the two
+// observers cannot disagree about what a step means.
+func abstractStep(add func(string), id netem.NodeID, tr detector.Trigger, actions []core.Action) {
 	coord := id == netem.NodeID(core.CoordinatorID)
 
 	switch tr.Kind {
@@ -68,7 +76,7 @@ func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigg
 		default:
 			add(fmt.Sprintf("deliver stray beat to %s from %s", pname(int(id)), pname(int(b.From))))
 		}
-		r.addReactions(add, id, tr, actions)
+		addReactions(add, id, tr, actions)
 
 	case detector.TriggerTimer:
 		if coord && tr.Timer == core.TimerRound {
@@ -77,10 +85,10 @@ func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigg
 			}
 			add(labelTimeoutP0)
 		}
-		r.addReactions(add, id, tr, actions)
+		addReactions(add, id, tr, actions)
 
 	case detector.TriggerStart:
-		r.addReactions(add, id, tr, actions)
+		addReactions(add, id, tr, actions)
 
 	case detector.TriggerCrash:
 		for _, a := range actions {
@@ -91,15 +99,15 @@ func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigg
 
 	case detector.TriggerLeave:
 		add(labelDecideLeave(int(id)))
-		r.addReactions(add, id, tr, actions)
+		addReactions(add, id, tr, actions)
 
 	case detector.TriggerRejoin:
 		add(fmt.Sprintf("%s: rejoin", pname(int(id))))
-		r.addReactions(add, id, tr, actions)
+		addReactions(add, id, tr, actions)
 
 	case detector.TriggerRestart:
 		add(fmt.Sprintf("%s: restart", pname(int(id))))
-		r.addReactions(add, id, tr, actions)
+		addReactions(add, id, tr, actions)
 	}
 }
 
@@ -109,7 +117,7 @@ func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigg
 // coordinator's round continuation is keyed off SetTimer{TimerRound},
 // because the model broadcasts "p[0]: send beat" even to an empty
 // membership while the runtime's send loop then emits nothing.
-func (r *Recorder) addReactions(add func(string), id netem.NodeID, tr detector.Trigger, actions []core.Action) {
+func addReactions(add func(string), id netem.NodeID, tr detector.Trigger, actions []core.Action) {
 	coord := id == netem.NodeID(core.CoordinatorID)
 	sentBeat := false
 	for _, act := range actions {

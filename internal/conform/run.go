@@ -129,31 +129,43 @@ func clusterConfig(m models.Config) (detector.ClusterConfig, error) {
 // the recorded trace. The run is deterministic in (Model, Seed, Horizon,
 // MaxDelay, Schedule).
 func Run(rc RunConfig) (*RunResult, error) {
-	if err := CheckSchedule(rc.Schedule); err != nil {
+	rec := NewRecorder()
+	cl, lost, err := runObserved(rc, rec)
+	if err != nil {
 		return nil, err
+	}
+	return &RunResult{Events: rec.Events(), Lost: lost, Cluster: cl}, nil
+}
+
+// runObserved drives one simulated cluster with an observer attached —
+// the shared guts of Run (Recorder) and RunStream (StreamChecker) — and
+// returns the stopped cluster plus the run's total loss count (the
+// no-loss premise of R2/R3).
+func runObserved(rc RunConfig, obs detector.Observer) (*detector.Cluster, uint64, error) {
+	if err := CheckSchedule(rc.Schedule); err != nil {
+		return nil, 0, err
 	}
 	cc, err := clusterConfig(rc.Model)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	cc.Seed = rc.Seed
 	cc.Link = netem.LinkConfig{MaxDelay: sim.Time(rc.MaxDelay)}
 	cc.Faults = rc.Schedule
 	cc.WrapMachine = rc.Wrap
-	rec := NewRecorder()
-	cc.Observe = rec
+	cc.Observe = obs
 
 	cl, err := detector.NewCluster(cc)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := cl.Start(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	cl.Sim.RunUntil(sim.Time(rc.Horizon))
 	cl.Stop()
 	if errs := cl.FaultErrors(); len(errs) > 0 {
-		return nil, fmt.Errorf("conform: fault schedule failed: %w", errs[0])
+		return nil, 0, fmt.Errorf("conform: fault schedule failed: %w", errs[0])
 	}
 
 	lost := cl.Net.Stats().Total.Lost
@@ -161,7 +173,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 		fs := cl.Faults.Stats()
 		lost += fs.DroppedMuted + fs.DroppedPartition + fs.DroppedLoss
 	}
-	return &RunResult{Events: rec.Events(), Lost: lost, Cluster: cl}, nil
+	return cl, lost, nil
 }
 
 // CampaignCheck attaches conformance checking to scenario campaigns: the

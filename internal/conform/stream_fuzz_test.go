@@ -1,0 +1,129 @@
+package conform
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// fuzzHorizon bounds the fuzzed streams' time checking.
+const fuzzHorizon = core.Tick(64)
+
+// fuzzChecks builds the fuzz target's specs once per process: the
+// smallest adaptive family plus its plain base spec.
+var fuzzChecks = sync.OnceValues(func() (*CampaignCheck, *CampaignCheck) {
+	env := models.Envelope{TMinLo: 2, TMinHi: 2, TMaxLo: 4, TMaxHi: 8}
+	model := models.Config{TMin: 2, TMax: 4, Variant: models.Static, N: 1, Fixed: true}
+	return &CampaignCheck{Model: model, Envelope: &env}, &CampaignCheck{Model: model}
+})
+
+// parseFuzzTrace decodes an event per line, "<time> <label>", skipping
+// lines that don't parse. Times are arbitrary (negative, out of order);
+// labels are arbitrary bytes. Capped so a single input stays cheap.
+func parseFuzzTrace(data string) []Event {
+	var events []Event
+	for _, line := range strings.Split(data, "\n") {
+		t, label, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(t, 10, 64)
+		if err != nil {
+			continue
+		}
+		events = append(events, Event{Time: core.Tick(n), Label: label})
+		if len(events) >= 1<<12 {
+			break
+		}
+	}
+	return events
+}
+
+// FuzzStreamChecker feeds arbitrary event sequences — malformed retune
+// labels, out-of-order virtual timestamps, garbage labels — through the
+// streaming checker and demands it (a) never panics, (b) is
+// deterministic, and (c) agrees byte-for-byte with the offline replay
+// checkers on verdicts, piecewise counters, and the first divergence.
+// This target caught the trailing-junk bug in parseRetune ("p[0]: retune
+// to (2,4)x" was accepted as an envelope transition).
+func FuzzStreamChecker(f *testing.F) {
+	f.Add("0 p[0]: retune to (2,4)\n1 p[1]: frobnicate\n2 deliver beat to p[0] from p[1]")
+	f.Add("0 p[0]: retune to (2,4)x\n1 p[0]: retune to (2,8)\n3 timeout p[0]")
+	f.Add("5 deliver beat to p[0] from p[1]\n2 p[1]: send beat\n-3 tick")
+	f.Add("0 p[0]: retune to (3,5)\n1 p[0]: retune to (-2,4)")
+	f.Add("1 p[1]: send beat\n2 deliver beat to p[0] from p[1]\n3 timeout p[0]\n63 inactivate nv p[1]")
+	f.Add("0 p[1]: decide leave\n1 p[1]: restart\n2 p[1]: rejoin\n3 deliver stray beat to p[1] from p[2]")
+	f.Fuzz(func(t *testing.T, data string) {
+		events := parseFuzzTrace(data)
+		adaptive, plain := fuzzChecks()
+
+		// Piecewise: offline CheckTraceAdaptive is the oracle.
+		pr, err := adaptive.CheckTraceAdaptive(events, fuzzHorizon)
+		if err != nil {
+			t.Fatalf("CheckTraceAdaptive: %v", err)
+		}
+		run := func() *StreamResult {
+			sc, err := NewStreamChecker(StreamConfig{Check: adaptive, Horizon: fuzzHorizon})
+			if err != nil {
+				t.Fatalf("NewStreamChecker: %v", err)
+			}
+			for _, ev := range events {
+				sc.Feed(ev)
+			}
+			res, err := sc.Finish(0)
+			if err != nil {
+				t.Fatalf("Finish: %v", err)
+			}
+			return res
+		}
+		sres := run()
+		requireSameDivergence(t, pr.Unconfirmed, sres.Unconfirmed, events)
+		if sres.Confirmed != pr.Confirmed || sres.Degraded != pr.Degraded ||
+			sres.Retunes != pr.Retunes || sres.Saturations != pr.Saturations ||
+			sres.FinalLevel != pr.FinalLevel {
+			t.Fatalf("piecewise counters differ:\n  stream:  %+v\n  offline: %+v", sres, pr)
+		}
+		env := adaptive.Envelope
+		monCfg := env.LevelConfig(adaptive.Model, env.Levels()-1)
+		if tv := EvaluateTrace(monCfg, events, 0, fuzzHorizon); !reflect.DeepEqual(sres.Verdicts, tv) {
+			t.Fatalf("verdicts differ:\n  stream:  %+v\n  offline: %+v", sres.Verdicts, tv)
+		}
+		if again := run(); !reflect.DeepEqual(again, sres) {
+			t.Fatalf("stream checking is nondeterministic:\n  first:  %+v\n  second: %+v", sres, again)
+		}
+
+		// Plain: offline Spec.CheckTrace is the oracle.
+		sp, err := plain.Spec()
+		if err != nil {
+			t.Fatalf("Spec: %v", err)
+		}
+		div := sp.CheckTrace(events, fuzzHorizon)
+		psc, err := NewStreamChecker(StreamConfig{Check: plain, Horizon: fuzzHorizon})
+		if err != nil {
+			t.Fatalf("NewStreamChecker(plain): %v", err)
+		}
+		for _, ev := range events {
+			psc.Feed(ev)
+		}
+		pres, err := psc.Finish(0)
+		if err != nil {
+			t.Fatalf("Finish(plain): %v", err)
+		}
+		requireSameDivergence(t, div, pres.Unconfirmed, events)
+
+		// parseRetune must stay a strict inverse of labelRetune.
+		for _, ev := range events {
+			if tmin, tmax, ok := parseRetune(ev.Label); ok {
+				if ev.Label != labelRetune(core.Tick(tmin), core.Tick(tmax)) {
+					t.Fatalf("parseRetune accepted %q as (%d,%d), which renders %q",
+						ev.Label, tmin, tmax, labelRetune(core.Tick(tmin), core.Tick(tmax)))
+				}
+			}
+		}
+	})
+}

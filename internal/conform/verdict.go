@@ -57,105 +57,19 @@ const farFuture = core.Tick(math.MaxInt64 / 2)
 //
 // "Joined" is p[0]'s view, reconstructed from delivery events exactly as
 // the model's jnd variables are driven by the delivery channels.
+//
+// EvaluateTrace is the offline loop over the incremental traceMonitor
+// (the same engine the StreamChecker runs online), so streaming and
+// offline verdicts are identical by construction: here the loss count is
+// known up front, online the loss-contingent R2/R3 candidates resolve at
+// Finish.
 func EvaluateTrace(cfg models.Config, events []Event, lost uint64, horizon core.Tick) TraceVerdicts {
-	n := cfg.N
-	fixedMembers := true
-	switch cfg.Variant {
-	case models.Expanding, models.Dynamic:
-		fixedMembers = false
-	}
-	bound := core.Tick(cfg.DetectionBound())
-	lossFree := lost == 0
-
-	tv := TraceVerdicts{LossFree: lossFree}
-	active0 := true
-	p0End := farFuture // first time p[0] stopped being active
-	activeP := make([]bool, n+1)
-	jnd := make([]bool, n+1)
-	armed := make([]bool, n+1)
-	lastBeat := make([]core.Tick, n+1)
-	for i := 1; i <= n; i++ {
-		activeP[i] = true
-		jnd[i] = fixedMembers
-		armed[i] = fixedMembers
-	}
-
-	// closeR1 checks the monitoring interval (last, next] for p[i]: a
-	// violation exists when the deadline elapsed with no delivery while
-	// p[0] stayed active, observably within the horizon.
-	closeR1 := func(i int, next core.Tick) {
-		deadline := lastBeat[i] + bound
-		if next > deadline && p0End > deadline && horizon > deadline {
-			tv.Violations = append(tv.Violations, ReqViolation{Prop: models.R1, Proc: i, Time: deadline + 1})
-		}
-	}
-	participantOK := func(j int) bool { return activeP[j] || !jnd[j] }
-
+	m := newTraceMonitor(cfg, horizon)
 	for _, ev := range events {
-		var proc int
-		switch {
-		case parseLabel(ev.Label, "deliver beat to p[0] from p[%d]", &proc):
-			if proc >= 1 && proc <= n {
-				if armed[proc] {
-					closeR1(proc, ev.Time)
-				}
-				armed[proc] = true
-				lastBeat[proc] = ev.Time
-				jnd[proc] = true
-			}
-		case parseLabel(ev.Label, "deliver leave beat to p[0] from p[%d]", &proc):
-			if proc >= 1 && proc <= n {
-				if armed[proc] {
-					closeR1(proc, ev.Time)
-				}
-				armed[proc] = false
-				jnd[proc] = false
-			}
-		case ev.Label == labelInactivate(0):
-			if lossFree && allOK(n, participantOK) {
-				tv.Violations = append(tv.Violations, ReqViolation{Prop: models.R3, Time: ev.Time})
-			}
-			active0 = false
-			if p0End == farFuture {
-				p0End = ev.Time
-			}
-		case ev.Label == labelCrash(0):
-			active0 = false
-			if p0End == farFuture {
-				p0End = ev.Time
-			}
-		case parseLabel(ev.Label, "inactivate nv p[%d]", &proc):
-			if proc >= 1 && proc <= n {
-				if lossFree && active0 && allOKExcept(n, proc, participantOK) {
-					tv.Violations = append(tv.Violations, ReqViolation{Prop: models.R2, Proc: proc, Time: ev.Time})
-				}
-				activeP[proc] = false
-			}
-		case parseLabel(ev.Label, "crash p[%d]", &proc):
-			if proc >= 1 && proc <= n {
-				activeP[proc] = false
-			}
-		}
+		m.observe(ev)
 	}
-	for i := 1; i <= n; i++ {
-		if armed[i] {
-			closeR1(i, farFuture)
-		}
-	}
-	return tv
-}
-
-func allOK(n int, ok func(int) bool) bool {
-	return allOKExcept(n, 0, ok)
-}
-
-func allOKExcept(n, skip int, ok func(int) bool) bool {
-	for j := 1; j <= n; j++ {
-		if j != skip && !ok(j) {
-			return false
-		}
-	}
-	return true
+	m.finishTime()
+	return m.verdicts(lost)
 }
 
 // VerifyFunc model-checks one property of one configuration; usually

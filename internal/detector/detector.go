@@ -106,6 +106,10 @@ const (
 	// EventRetuned: an adaptive coordinator moved its timing constants to
 	// a new operating point (TMin, TMax) within its envelope.
 	EventRetuned
+	// EventIncident: an online conformance checker reported a structured
+	// incident (model divergence or R1–R3 violation) through the
+	// supervisor's grading path; Detail carries the one-line summary.
+	EventIncident
 )
 
 // String implements fmt.Stringer.
@@ -129,6 +133,8 @@ func (k EventKind) String() string {
 		return "gave-up"
 	case EventRetuned:
 		return "retuned"
+	case EventIncident:
+		return "incident"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -146,6 +152,8 @@ type Event struct {
 	Voluntary bool
 	// TMin and TMax carry the new operating point for EventRetuned.
 	TMin, TMax core.Tick
+	// Detail is the conformance incident summary for EventIncident.
+	Detail string
 }
 
 // EventSink receives events. Implementations must be safe for the

@@ -164,6 +164,9 @@ type SupervisorMetrics struct {
 	RestartsHeld int
 	// Retunes counts EventRetuned notifications seen.
 	Retunes int
+	// Incidents counts structured conformance incidents reported through
+	// ReportIncident by an attached online checker.
+	Incidents int
 	// Degraded reports whether the guard currently considers the
 	// coordinator widened above the envelope floor.
 	Degraded bool
@@ -464,6 +467,20 @@ func (s *Supervisor) HandleEvent(e Event) {
 	case EventRetuned:
 		s.noteRetune(e)
 	}
+}
+
+// ReportIncident feeds a structured incident from an attached online
+// conformance checker (e.g. conform.StreamChecker) into the grading
+// path: the incident is counted in the metrics and emitted to the
+// configured sink as an EventIncident carrying the summary. node is the
+// blamed process (the coordinator for model divergences). Unlike timers,
+// incident reporting survives Stop — a checker finishing after the run
+// still files its loss-gated violations.
+func (s *Supervisor) ReportIncident(node netem.NodeID, detail string) {
+	s.mu.Lock()
+	s.metrics.Incidents++
+	s.mu.Unlock()
+	s.emit(Event{Time: s.cfg.Clock.Now(), Node: node, Kind: EventIncident, Detail: detail})
 }
 
 // noteRetune tracks the adaptive coordinator's operating point for the

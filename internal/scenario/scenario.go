@@ -237,6 +237,18 @@ type CampaignConfig struct {
 	// Divergences — confirmed ones (envelope retunes, by-design leave and
 	// rejoin events) are tallied in Retunes and ConfirmedDivergences.
 	Conform *conform.CampaignCheck
+	// Stream, if set (requires Conform), checks each trial online instead
+	// of record-and-replay: a conform.StreamChecker rides the cluster as
+	// its observer and advances the model frontier event by event, so a
+	// defect surfaces the moment it happens, with bounded memory, not at
+	// trial teardown. Divergences and R1–R3 violations land as structured
+	// incidents in CampaignResult.Incidents, and — when Heal is set — on
+	// the trial supervisor's grading path (detector.EventIncident,
+	// SupervisorMetrics.Incidents). Streaming adaptive campaigns
+	// (Conform.Envelope set) are the one conformance mode that composes
+	// with Heal: supervisor restarts carry by-design non-model labels the
+	// piecewise checker classifies as confirmed divergences.
+	Stream bool
 	// Workers is the number of concurrent trials; values below 2 run on
 	// the calling goroutine. Each trial owns its simulator and cluster and
 	// derives its seed from Seed and the trial index alone, so the result
@@ -276,6 +288,12 @@ type CampaignResult struct {
 	// Saturations counts retunes that re-held the envelope ceiling — the
 	// entries into degraded (plain-heartbeat) operation.
 	Saturations int
+	// Incidents aggregates the structured incidents of streaming trials
+	// (Stream set), in trial order: unconfirmed model divergences and
+	// R1–R3 trace-monitor violations, each with its event tail and blamed
+	// process. Offline campaigns report divergences in Divergences
+	// instead.
+	Incidents []*conform.Incident
 }
 
 // RunCampaign replays the schedule over Trials independent clusters.
@@ -288,9 +306,12 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	}
 	var spec *conform.Spec
 	adaptive := false
+	if cfg.Stream && cfg.Conform == nil {
+		return nil, fmt.Errorf("%w: streaming conformance needs Conform", ErrScenario)
+	}
 	if cfg.Conform != nil {
-		if cfg.Heal != nil {
-			return nil, fmt.Errorf("%w: conformance checking cannot model supervisor restarts", ErrScenario)
+		if cfg.Heal != nil && (!cfg.Stream || cfg.Conform.Envelope == nil) {
+			return nil, fmt.Errorf("%w: offline conformance checking cannot model supervisor restarts (use Stream with an envelope)", ErrScenario)
 		}
 		if err := conform.CheckSchedule(cfg.Schedule); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
@@ -337,6 +358,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		faults      faults.Stats
 		schedErrs   int
 		div         *conform.Divergence
+		incidents   []*conform.Incident
 		confirmed   int
 		degraded    int
 		retunes     int
@@ -357,13 +379,27 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		cc.Faults = &sched
 		cc.Heal = cfg.Heal
 		var rec *conform.Recorder
-		if spec != nil || adaptive {
+		var sc *conform.StreamChecker
+		if cfg.Stream {
+			var err error
+			sc, err = conform.NewStreamChecker(conform.StreamConfig{
+				Check:   cfg.Conform,
+				Horizon: core.Tick(cfg.Horizon),
+			})
+			if err != nil {
+				return trialOutcome{err: err}
+			}
+			cc.Observe = sc
+		} else if spec != nil || adaptive {
 			rec = conform.NewRecorder()
 			cc.Observe = rec
 		}
 		c, err := detector.NewCluster(cc)
 		if err != nil {
 			return trialOutcome{err: err}
+		}
+		if sc != nil && c.Supervisor != nil {
+			sc.BindSupervisor(c.Supervisor)
 		}
 		if err := c.Start(); err != nil {
 			return trialOutcome{err: err}
@@ -372,6 +408,22 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		c.Stop()
 		var o trialOutcome
 		switch {
+		case sc != nil:
+			// The no-loss premise of R2/R3, mirroring conform.Run.
+			lost := c.Net.Stats().Total.Lost
+			if c.Faults != nil {
+				fs := c.Faults.Stats()
+				lost += fs.DroppedMuted + fs.DroppedPartition + fs.DroppedLoss
+			}
+			sres, err := sc.Finish(lost)
+			if err != nil {
+				return trialOutcome{err: err}
+			}
+			o.incidents = sres.Incidents
+			o.confirmed = sres.Confirmed
+			o.degraded = sres.Degraded
+			o.retunes = sres.Retunes
+			o.saturations = sres.Saturations
 		case adaptive:
 			pr, err := cfg.Conform.CheckTraceAdaptive(rec.Events(), core.Tick(cfg.Horizon))
 			if err != nil {
@@ -437,6 +489,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		if o.div != nil {
 			out.Divergences = append(out.Divergences, o.div)
 		}
+		out.Incidents = append(out.Incidents, o.incidents...)
 		out.Survived.Observe(o.survived)
 		if o.hasRestarts {
 			out.Restarts.Add(o.restarts)

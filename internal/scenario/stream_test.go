@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/conform"
+	"repro/internal/detector"
+	"repro/internal/faults"
+	"repro/internal/models"
+)
+
+// streamCampaign is adaptiveCampaign with online checking: the trials run
+// a StreamChecker as their observer instead of record-and-replay.
+func streamCampaign(variant models.Variant, sc TopologyScenario, trials, workers int) CampaignConfig {
+	cfg := adaptiveCampaign(variant, sc, trials, workers)
+	cfg.Stream = true
+	return cfg
+}
+
+// requireNoDivergenceIncidents runs a streaming campaign and fails on any
+// unconfirmed-divergence incident, rendering the first one.
+func requireNoDivergenceIncidents(t *testing.T, cfg CampaignConfig) *CampaignResult {
+	t.Helper()
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	for _, inc := range res.Incidents {
+		if inc.Kind == conform.IncidentDivergence {
+			var b strings.Builder
+			if err := inc.Render(&b, "divergence incident"); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			t.Fatalf("unconfirmed divergence incident:\n%s", b.String())
+		}
+	}
+	return res
+}
+
+// TestStreamCampaignMatchesOffline pins the campaign-scale differential:
+// the same chaos campaign checked online (StreamChecker per trial) and
+// offline (record, then replay) must agree on every aggregate — same
+// retunes, saturations, confirmed/degraded divergences, survival — with
+// the streaming run reporting no incidents the offline run did not.
+func TestStreamCampaignMatchesOffline(t *testing.T) {
+	sc, err := RackLossScenario(campaignN(models.Static))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := requireNoUnconfirmed(t, adaptiveCampaign(models.Static, sc, 20, 4))
+	stream := requireNoDivergenceIncidents(t, streamCampaign(models.Static, sc, 20, 4))
+	if stream.Retunes == 0 {
+		t.Fatal("streaming campaign saw no retunes — the adaptive path was never exercised")
+	}
+	// Campaigns must agree aggregate-for-aggregate once the streaming-only
+	// incident list is set aside.
+	norm := *stream
+	norm.Incidents = nil
+	if !reflect.DeepEqual(&norm, offline) {
+		t.Fatalf("streaming and offline campaigns disagree:\n  stream:  %+v\n  offline: %+v", &norm, offline)
+	}
+}
+
+// TestStreamCampaignWorkerDeterminism: online checking preserves the
+// campaign determinism guarantee at any worker count.
+func TestStreamCampaignWorkerDeterminism(t *testing.T) {
+	sc, err := RackLossScenario(campaignN(models.Static))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := requireNoDivergenceIncidents(t, streamCampaign(models.Static, sc, 20, 1))
+	par := requireNoDivergenceIncidents(t, streamCampaign(models.Static, sc, 20, 8))
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("worker count changed the streaming campaign result:\n  1 worker: %+v\n  8 workers: %+v", seq, par)
+	}
+}
+
+// TestStreamCampaignComposesWithHeal: streaming adaptive conformance is
+// the one mode that runs under a supervisor — restarts surface as
+// by-design labels the piecewise checker confirms, not as failures.
+func TestStreamCampaignComposesWithHeal(t *testing.T) {
+	sc, err := RackLossScenario(campaignN(models.Static))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := streamCampaign(models.Static, sc, 10, 2)
+	cfg.Heal = &detector.SupervisorConfig{}
+	res := requireNoDivergenceIncidents(t, cfg)
+	if res.Restarts.N() != 10 {
+		t.Fatalf("restart samples = %d, want one per trial", res.Restarts.N())
+	}
+}
+
+// TestStreamCampaignValidation pins the configuration errors.
+func TestStreamCampaignValidation(t *testing.T) {
+	sc, err := RackLossScenario(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CampaignConfig{Schedule: sc.Schedule, Horizon: 100, Trials: 1}
+
+	noConform := base
+	noConform.Stream = true
+	if _, err := RunCampaign(noConform); !errors.Is(err, ErrScenario) {
+		t.Fatalf("Stream without Conform: err = %v, want ErrScenario", err)
+	}
+
+	// Heal still cannot combine with offline conformance…
+	offlineHeal := streamCampaign(models.Static, sc, 1, 1)
+	offlineHeal.Stream = false
+	offlineHeal.Heal = &detector.SupervisorConfig{}
+	if _, err := RunCampaign(offlineHeal); !errors.Is(err, ErrScenario) {
+		t.Fatalf("offline Conform+Heal: err = %v, want ErrScenario", err)
+	}
+
+	// …nor with a streaming check that has no envelope (restarts would be
+	// unconfirmed divergences, not by-design ones).
+	plainHeal := base
+	plainHeal.Stream = true
+	plainHeal.Heal = &detector.SupervisorConfig{}
+	plainHeal.Conform = &conform.CampaignCheck{
+		Model: models.Config{TMin: 2, TMax: 4, Variant: models.Static, N: 2, Fixed: true},
+	}
+	if _, err := RunCampaign(plainHeal); !errors.Is(err, ErrScenario) {
+		t.Fatalf("plain streaming Conform+Heal: err = %v, want ErrScenario", err)
+	}
+}
+
+// TestStreamMutantIncidentReachesSupervisor wires the full grading path:
+// a defective detector (participant watchdog one tick late) under a
+// supervisor with the stream checker attached must produce a structured
+// divergence incident, count it in the supervisor's metrics, and emit it
+// as an EventIncident carrying the one-line summary.
+func TestStreamMutantIncidentReachesSupervisor(t *testing.T) {
+	model := models.Config{TMin: 2, TMax: 4, Variant: models.Binary, N: 1, Fixed: true}
+	check := &conform.CampaignCheck{Model: model}
+	sc, err := conform.NewStreamChecker(conform.StreamConfig{Check: check, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrap, err := conform.Mutation("expiry+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := conform.ClusterFor(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Seed = 3
+	cc.Faults = &faults.Schedule{Events: []faults.Event{
+		{At: 9, Kind: faults.KindCrash, Node: 0},
+	}}
+	cc.WrapMachine = wrap
+	cc.Observe = sc
+	cc.Heal = &detector.SupervisorConfig{}
+	c, err := detector.NewCluster(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.BindSupervisor(c.Supervisor)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.RunUntil(30)
+	c.Stop()
+	res, err := sc.Finish(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Unconfirmed == nil {
+		t.Fatal("mutant expiry+1 produced no divergence incident")
+	}
+	if got := c.Supervisor.Metrics().Incidents; got < 1 {
+		t.Fatalf("supervisor Incidents = %d, want >= 1", got)
+	}
+	found := false
+	for _, e := range c.Events {
+		if e.Kind == detector.EventIncident && e.Detail == res.Unconfirmed.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no EventIncident with detail %q in cluster events", res.Unconfirmed.String())
+	}
+}
+
+// TestStreamFleetScale is the fleet stress: thousands of independent
+// 2-endpoint clusters under the rack-loss chaos schedule, each checked
+// online. 10k monitored endpoints at full size (5000 trials x 2
+// participants); shortened under -short.
+func TestStreamFleetScale(t *testing.T) {
+	trials := 5000
+	if testing.Short() {
+		trials = 250
+	}
+	sc, err := RackLossScenario(campaignN(models.Static))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := streamCampaign(models.Static, sc, trials, 8)
+	res := requireNoDivergenceIncidents(t, cfg)
+	if got := res.Survived.Trials; got != trials {
+		t.Fatalf("observed %d trials, want %d", got, trials)
+	}
+	if res.Retunes == 0 || res.Saturations == 0 {
+		t.Fatalf("fleet campaign never exercised the envelope: retunes=%d saturations=%d",
+			res.Retunes, res.Saturations)
+	}
+}
+
+// benchCampaign is the online-vs-offline cost comparison behind
+// EXPERIMENTS.md's streaming-overhead numbers: the same 10-trial
+// rack-loss chaos campaign, checked by record-then-replay (offline) or by
+// a StreamChecker riding each trial's cluster (online).
+func benchCampaign(b *testing.B, stream bool) {
+	sc, err := RackLossScenario(campaignN(models.Static))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := adaptiveCampaign(models.Static, sc, 10, 1)
+	cfg.Stream = stream
+	// Warm the shared per-level spec cache so the one-off LTS builds are
+	// not attributed to whichever benchmark runs first.
+	if _, err := RunCampaign(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCampaign(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignOffline(b *testing.B) { benchCampaign(b, false) }
+func BenchmarkCampaignStream(b *testing.B)  { benchCampaign(b, true) }
