@@ -167,10 +167,7 @@ func overhead() error {
 		// Plain baseline matching the accelerated loss tolerance
 		// (log2(tmax/tmin) consecutive losses) at the same bound:
 		// period = bound/(k+1).
-		k := 0
-		for t := tmax; t/2 >= tmin; t /= 2 {
-			k++
-		}
+		k := acceleratedCluster(tmin, tmax).Core.LossTolerance()
 		plainSameTol := scenario.PlainOverhead(1, bound/core.Tick(k+1))
 		fmt.Printf("%8d %8d %14.4f %22.4f %22.4f\n",
 			tmax, tmin, res.MessagesPerTick, plainSameDetect, plainSameTol)

@@ -40,6 +40,9 @@ type Entry struct {
 	Table1ParMS float64 `json:"table1_par_ms,omitempty"`
 	// Fleet carries the hbfleet macro-benchmark, when this entry is one.
 	Fleet *FleetMetrics `json:"fleet,omitempty"`
+	// Ensemble carries the hbmc Monte-Carlo sweep benchmark, when this
+	// entry is one.
+	Ensemble *EnsembleMetrics `json:"ensemble,omitempty"`
 }
 
 // Metrics summarises one throughput benchmark.
@@ -74,6 +77,23 @@ type FleetMetrics struct {
 	MissedDeadlines uint64 `json:"missed_deadlines"`
 }
 
+// EnsembleMetrics summarises one hbmc Monte-Carlo sweep run.
+type EnsembleMetrics struct {
+	// TrialsPerPoint is the Monte-Carlo sample size at each sweep point;
+	// Points is how many (variant, parameter) points the sweep covered.
+	TrialsPerPoint int `json:"trials_per_point"`
+	Points         int `json:"points"`
+	// Workers is the trial-sharding worker count (byte-identical results
+	// at any value; >1 on one CPU measures coordination overhead only).
+	Workers int `json:"workers"`
+	// TrialsPerSec is sustained ensemble throughput over the whole sweep.
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	// BaselineTrialsPerSec, when measured, is the per-trial simulator
+	// (scenario) path on the same workload; Speedup is the ratio.
+	BaselineTrialsPerSec float64 `json:"baseline_trials_per_sec,omitempty"`
+	Speedup              float64 `json:"speedup,omitempty"`
+}
+
 // History is the BENCH_mc.json document.
 type History struct {
 	Entries []Entry `json:"history"`
@@ -94,7 +114,8 @@ const CoordinationOverheadNote = "coordination-overhead-only"
 //   - the required measurement fields are present: go version,
 //     maxprocs >= 1, and one complete measurement shape — positive
 //     per_sec/ns_per_op for both checker and simulator (micro entries),
-//     or positive endpoints/beats_per_sec (fleet entries).
+//     positive endpoints/beats_per_sec (fleet entries), or positive
+//     trials/points/trials_per_sec (ensemble entries).
 func Validate(h History) error {
 	seen := make(map[string]int, len(h.Entries))
 	var prev time.Time
@@ -123,6 +144,12 @@ func Validate(h History) error {
 		}
 		if e.Fleet != nil {
 			if err := validateFleet(e.Fleet); err != nil {
+				return fmt.Errorf("%s: %v", where, err)
+			}
+			continue
+		}
+		if e.Ensemble != nil {
+			if err := validateEnsemble(e.Ensemble); err != nil {
 				return fmt.Errorf("%s: %v", where, err)
 			}
 			continue
@@ -162,6 +189,25 @@ func validateFleet(f *FleetMetrics) error {
 	}
 	if f.MissedDeadlines != 0 {
 		return fmt.Errorf("fleet missed %d deadlines; the run is invalid", f.MissedDeadlines)
+	}
+	return nil
+}
+
+func validateEnsemble(m *EnsembleMetrics) error {
+	if m.TrialsPerPoint <= 0 {
+		return fmt.Errorf("ensemble trials_per_point %d is not positive", m.TrialsPerPoint)
+	}
+	if m.Points <= 0 {
+		return fmt.Errorf("ensemble points %d is not positive", m.Points)
+	}
+	if m.Workers < 1 {
+		return fmt.Errorf("ensemble workers %d < 1", m.Workers)
+	}
+	if m.TrialsPerSec <= 0 {
+		return fmt.Errorf("ensemble trials_per_sec %g is not positive; the benchmark did not run", m.TrialsPerSec)
+	}
+	if m.BaselineTrialsPerSec < 0 || (m.BaselineTrialsPerSec > 0) != (m.Speedup > 0) {
+		return fmt.Errorf("ensemble baseline %g and speedup %g must be set together", m.BaselineTrialsPerSec, m.Speedup)
 	}
 	return nil
 }

@@ -43,6 +43,24 @@ func goodFleetEntry(label, date string) Entry {
 	}
 }
 
+func goodEnsembleEntry(label, date string) Entry {
+	return Entry{
+		Label:    label,
+		Date:     date,
+		Go:       "go1.24.0",
+		MaxProcs: 1,
+		NumCPU:   1,
+		Ensemble: &EnsembleMetrics{
+			TrialsPerPoint:       100000,
+			Points:               42,
+			Workers:              1,
+			TrialsPerSec:         1.1e5,
+			BaselineTrialsPerSec: 8.0e3,
+			Speedup:              13.8,
+		},
+	}
+}
+
 func TestValidateHistory(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -66,6 +84,47 @@ func TestValidateHistory(t *testing.T) {
 				goodEntry("pr2-baseline", "2026-07-01T10:00:00Z"),
 				goodFleetEntry("pr7-fleet-1m", "2026-08-07T10:00:00Z"),
 			}},
+		},
+		{
+			name: "ensemble entries coexist with the rest",
+			history: History{Entries: []Entry{
+				goodEntry("pr2-baseline", "2026-07-01T10:00:00Z"),
+				goodFleetEntry("pr7-fleet-1m", "2026-08-07T10:00:00Z"),
+				goodEnsembleEntry("pr9-mc", "2026-08-07T11:00:00Z"),
+			}},
+		},
+		{
+			name: "ensemble entry with zero rate",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodEnsembleEntry("a", "2026-07-01T10:00:00Z")
+					e.Ensemble.TrialsPerSec = 0
+					return e
+				}(),
+			}},
+			wantErr: "trials_per_sec",
+		},
+		{
+			name: "ensemble entry with zero trials",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodEnsembleEntry("a", "2026-07-01T10:00:00Z")
+					e.Ensemble.TrialsPerPoint = 0
+					return e
+				}(),
+			}},
+			wantErr: "trials_per_point",
+		},
+		{
+			name: "ensemble entry with speedup but no baseline",
+			history: History{Entries: []Entry{
+				func() Entry {
+					e := goodEnsembleEntry("a", "2026-07-01T10:00:00Z")
+					e.Ensemble.BaselineTrialsPerSec = 0
+					return e
+				}(),
+			}},
+			wantErr: "set together",
 		},
 		{
 			name: "equal dates allowed",

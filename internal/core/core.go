@@ -334,6 +334,22 @@ func (c Config) CoordinatorDetectionBound() Tick {
 	return 3*c.TMax - c.TMin
 }
 
+// LossTolerance is the number of consecutive missed beats the coordinator
+// absorbs before suspecting a process: the length of the halving sequence
+// tmax → tmax/2 → … that stays at or above tmin (log2(tmax/tmin) for the
+// accelerated protocols), or exactly one probe round for the two-phase
+// variant, which drops straight to tmin.
+func (c Config) LossTolerance() int {
+	if c.TwoPhase {
+		return 1
+	}
+	k := 0
+	for t := c.TMax; t/2 >= c.TMin; t /= 2 {
+		k++
+	}
+	return k
+}
+
 // NextWait applies the acceleration rule to the current per-process waiting
 // time: reset to TMax on a received beat, otherwise halve (or drop to TMin
 // in the two-phase variant). The returned ok is false when the new waiting

@@ -109,6 +109,42 @@ func TestNextWaitBinary(t *testing.T) {
 	}
 }
 
+// TestLossTolerance pins the halving-budget count against NextWait
+// itself: starting from tmax, exactly LossTolerance consecutive misses
+// survive and the next one exhausts.
+func TestLossTolerance(t *testing.T) {
+	for _, cfg := range []Config{
+		{TMin: 2, TMax: 8},
+		{TMin: 2, TMax: 16},
+		{TMin: 2, TMax: 128},
+		{TMin: 8, TMax: 16},
+		{TMin: 3, TMax: 10},
+		{TMin: 10, TMax: 10},
+		{TMin: 4, TMax: 10, TwoPhase: true},
+		{TMin: 10, TMax: 10, TwoPhase: true},
+	} {
+		k := cfg.LossTolerance()
+		cur := cfg.TMax
+		survived := 0
+		for {
+			next, ok := cfg.NextWait(cur, false)
+			if !ok {
+				break
+			}
+			survived++
+			cur = next
+		}
+		// Two-phase with tmin=tmax exhausts immediately; LossTolerance
+		// still reports the one probe round the variant is defined by.
+		if cfg.TwoPhase && cfg.TMin == cfg.TMax {
+			continue
+		}
+		if survived != k {
+			t.Errorf("config %+v: LossTolerance %d, but %d misses survive", cfg, k, survived)
+		}
+	}
+}
+
 func TestNextWaitTwoPhase(t *testing.T) {
 	cfg := Config{TMin: 4, TMax: 10, TwoPhase: true}
 	if next, ok := cfg.NextWait(10, false); !ok || next != 4 {

@@ -1,0 +1,25 @@
+package ensemble
+
+import "testing"
+
+// TestEnsembleStepAllocFree pins the 0-allocs-per-lockstep-round
+// contract on the fast-RNG hot path: after engine construction, reset
+// and stepRound touch only the preallocated SoA rows.
+func TestEnsembleStepAllocFree(t *testing.T) {
+	cfg, err := q3Config(256, 1).validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newEngine(cfg, 256)
+	eng.reset(0, 256) // warm-up block
+	for eng.stepRound() {
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		eng.reset(0, 256)
+		for eng.stepRound() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lockstep rounds allocate: %v allocs per block run, want 0", allocs)
+	}
+}

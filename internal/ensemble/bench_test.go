@@ -1,0 +1,52 @@
+package ensemble
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/scenario"
+)
+
+// BenchmarkEnsembleThroughput measures trials/sec on the Q3
+// false-detection workload (binary {2,16}, 10% loss, horizon 4000) at
+// workers=1 — the per-core number the ≥10x acceptance criterion is
+// stated against. Compare with BenchmarkScenarioBaseline below.
+func BenchmarkEnsembleThroughput(b *testing.B) {
+	const trials = 2048
+	cfg := q3Config(trials, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+}
+
+// BenchmarkScenarioBaseline runs the identical workload through the
+// per-trial simulator path (scenario.MeasureReliability) — the oracle
+// the ensemble is pinned against and the baseline for its speedup.
+func BenchmarkScenarioBaseline(b *testing.B) {
+	const trials = 64
+	cfg := q3Config(trials, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := scenario.MeasureReliability(scenario.ReliabilityConfig{
+			Cluster: detector.ClusterConfig{
+				Protocol: cfg.Protocol, Core: cfg.Core, N: cfg.N,
+			},
+			LossProb: cfg.Link.LossProb,
+			Horizon:  cfg.Horizon,
+			Trials:   trials,
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+}

@@ -1,0 +1,186 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Variant names one member of the paper's protocol family for sweeps.
+type Variant struct {
+	Name     string
+	Protocol Protocol
+	// TwoPhase/Revised/Fixed are the core flags; tmin/tmax come from the
+	// sweep point.
+	TwoPhase, Revised, Fixed bool
+	// N is the member count for the multi-process variants.
+	N int
+}
+
+// Variants returns the canonical six-variant family: the three binary
+// refinements plus the three membership generalisations at n members.
+func Variants(n int) []Variant {
+	return []Variant{
+		{Name: "binary", Protocol: ProtocolBinary, N: 1},
+		{Name: "revised", Protocol: ProtocolBinary, Revised: true, N: 1},
+		{Name: "two-phase", Protocol: ProtocolBinary, TwoPhase: true, N: 1},
+		{Name: "static", Protocol: ProtocolStatic, N: n},
+		{Name: "expanding", Protocol: ProtocolExpanding, N: n},
+		{Name: "dynamic", Protocol: ProtocolDynamic, N: n},
+	}
+}
+
+// coreFor assembles the variant's core.Config at a (tmin, tmax) point.
+func (v Variant) coreFor(tmin, tmax core.Tick) core.Config {
+	return core.Config{TMin: tmin, TMax: tmax, TwoPhase: v.TwoPhase, Revised: v.Revised, Fixed: v.Fixed}
+}
+
+// OverheadPoint is one Q1 surface point: fault-free steady-state message
+// rate. Loss-free runs are deterministic, so one trial is exact.
+type OverheadPoint struct {
+	Variant            string
+	TMin, TMax         core.Tick
+	MsgsPerTick        float64
+	Sent               uint64
+	FalselyInactivated bool
+}
+
+// SweepOverhead regenerates the Q1 surface (overhead vs tmax) for every
+// variant: duration 400·tmax, matching cmd/hbsim's Q1 protocol.
+func SweepOverhead(variants []Variant, tmin core.Tick, tmaxes []core.Tick) ([]OverheadPoint, error) {
+	var out []OverheadPoint
+	for _, v := range variants {
+		for _, tmax := range tmaxes {
+			duration := sim.Time(tmax) * 400
+			res, err := Run(Config{
+				Protocol: v.Protocol, Core: v.coreFor(tmin, tmax), N: v.N,
+				Horizon: duration, Trials: 1, Seed: 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("overhead %s tmax=%d: %w", v.Name, tmax, err)
+			}
+			out = append(out, OverheadPoint{
+				Variant: v.Name, TMin: tmin, TMax: tmax,
+				MsgsPerTick:        float64(res.Sent) / float64(duration),
+				Sent:               res.Sent,
+				FalselyInactivated: res.CoordInactivated > 0,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DetectionPoint is one Q2 surface point: crash-to-suspicion latency
+// distribution with a 95% CI on the mean.
+type DetectionPoint struct {
+	Variant          string
+	TMin, TMax       core.Tick
+	Trials           int
+	Detected, Missed int
+	MeanDelay, CI95  float64
+	P50, P99, Max    float64
+	Bound            core.Tick
+	Rounds           uint64
+}
+
+// SweepDetection regenerates the Q2 surface (detection-latency
+// distribution) for every variant at each (tmin, tmax) point: delay
+// jitter up to tmin/2, crash at 10·tmax plus up to tmax of jitter,
+// horizon 22·tmax — cmd/hbsim's Q2 protocol at ensemble trial counts.
+func SweepDetection(variants []Variant, times [][2]core.Tick, trials int, seed int64, workers int) ([]DetectionPoint, error) {
+	var out []DetectionPoint
+	for _, v := range variants {
+		for _, tt := range times {
+			tmin, tmax := tt[0], tt[1]
+			cc := v.coreFor(tmin, tmax)
+			res, err := Run(Config{
+				Protocol: v.Protocol, Core: cc, N: v.N,
+				Link:    netem.LinkConfig{MaxDelay: sim.Time(tmin) / 2},
+				CrashAt: sim.Time(tmax) * 10, CrashJitter: sim.Time(tmax), Victim: 1,
+				Horizon: sim.Time(tmax) * 22,
+				Trials:  trials, Seed: seed, Workers: workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("detection %s (%d,%d): %w", v.Name, tmin, tmax, err)
+			}
+			p := DetectionPoint{
+				Variant: v.Name, TMin: tmin, TMax: tmax,
+				Trials: trials, Detected: res.Detected, Missed: res.Missed,
+				Bound:  cc.CoordinatorDetectionBound() + cc.TMin,
+				Rounds: res.Rounds,
+			}
+			if res.Detected > 0 {
+				p.MeanDelay, p.CI95, _ = res.Delay.MeanCI95()
+				p.P50, _ = res.DelayQ.Quantile(0.5)
+				p.P99, _ = res.DelayQ.Quantile(0.99)
+				p.Max, _ = res.Delay.Max()
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// ReliabilityPoint is one Q3 surface point: false-detection probability
+// under loss with a Wilson 95% interval, plus mean time-to-failure.
+type ReliabilityPoint struct {
+	Variant            string
+	TMin, TMax         core.Tick
+	Loss               float64
+	Trials             int
+	FalseTrials        int
+	PFalse             float64
+	WilsonLo, WilsonHi float64
+	MeanTTF, TTFCI95   float64
+	Rounds             uint64
+}
+
+// SweepReliability regenerates the Q3 surface (false-detection
+// probability vs loss rate) for every variant: fault-free lossy links,
+// horizon 4000 — cmd/hbsim's Q3 protocol at ensemble trial counts.
+func SweepReliability(variants []Variant, tmin, tmax core.Tick, losses []float64, trials int, seed int64, workers int) ([]ReliabilityPoint, error) {
+	var out []ReliabilityPoint
+	for _, v := range variants {
+		for _, loss := range losses {
+			res, err := Run(Config{
+				Protocol: v.Protocol, Core: v.coreFor(tmin, tmax), N: v.N,
+				Link:    netem.LinkConfig{LossProb: loss},
+				Horizon: 4000,
+				Trials:  trials, Seed: seed, Workers: workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("reliability %s loss=%g: %w", v.Name, loss, err)
+			}
+			p := ReliabilityPoint{
+				Variant: v.Name, TMin: tmin, TMax: tmax, Loss: loss,
+				Trials: trials, FalseTrials: res.FalseTrials,
+				PFalse: float64(res.FalseTrials) / float64(trials),
+				Rounds: res.Rounds,
+			}
+			p.WilsonLo, p.WilsonHi = wilson95(res.FalseTrials, trials)
+			if res.FalseTrials > 0 {
+				p.MeanTTF, p.TTFCI95, _ = res.TimeToFalse.MeanCI95()
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// wilson95 is the Wilson score interval (mirrors stats.Ratio.Wilson95
+// without constructing a Ratio).
+func wilson95(successes, trials int) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 0
+	}
+	const z = 1.96
+	n := float64(trials)
+	p := float64(successes) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	return max(0, center-half), min(1, center+half)
+}

@@ -94,6 +94,7 @@ var DefaultWallClockAllow = []string{
 	"internal/netem/ticker.go",      // WallTicker implementation
 	"cmd/hbbench/main.go",           // benchmark timestamps and timings
 	"cmd/hbfleet/main.go",           // fleet benchmark timestamps and timings
+	"cmd/hbmc/main.go",              // ensemble sweep timestamps and timings
 }
 
 // Analyzers returns the full suite in reporting order.

@@ -48,6 +48,14 @@ func (s *Sample) Merge(other *Sample) {
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
 
+// Values returns a copy of the observations in insertion order — unless an
+// order-statistic query (Min/Max/Percentile) has already run, which sorts
+// the backing store in place. Callers needing insertion order must read
+// Values before such queries.
+func (s *Sample) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
 // Sum returns the total of all observations.
 func (s *Sample) Sum() float64 {
 	total := 0.0
