@@ -216,9 +216,16 @@ func printDetection(w io.Writer, pts []ensemble.DetectionPoint) {
 	fmt.Fprintln(w, "== Q2: crash detection latency (ticks), all variants")
 	fmt.Fprintf(w, "%12s %5s %5s %6s %16s %6s %6s %6s %6s %7s\n",
 		"variant", "tmin", "tmax", "bound", "mean ± 95% CI", "p50", "p99", "max", "missed", "trials")
+	var coarse float64
 	for _, p := range pts {
 		fmt.Fprintf(w, "%12s %5d %5d %6d %9.2f ± %4.2f %6.0f %6.0f %6.0f %6d %7d\n",
 			p.Variant, p.TMin, p.TMax, p.Bound, p.MeanDelay, p.CI95, p.P50, p.P99, p.Max, p.Missed, p.Trials)
+		if p.QuantRes > coarse {
+			coarse = p.QuantRes
+		}
+	}
+	if coarse > 1 {
+		fmt.Fprintf(w, "(coarsened sketch: p50/p99 are bucket lower edges, up to %.3g ticks low)\n", coarse)
 	}
 	fmt.Fprintln(w)
 }

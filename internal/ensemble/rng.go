@@ -12,10 +12,12 @@ import (
 //     to the simulator path; costs one ~5KB source allocation per trial,
 //     so it is reserved for differential tests and small campaigns.
 //   - Fast (default): a splittable counter-based splitmix64 stream keyed
-//     on (seed, trial). Allocation-free and a few times faster; streams
-//     for distinct trials are independent by construction, so campaigns
-//     stay embarrassingly parallel and byte-identical at any worker
-//     count. Not bitwise-comparable to math/rand, statistically
+//     on (seed, trial). Allocation-free and a few times faster; each
+//     trial's counter starts at a mix64-scrambled position, so distinct
+//     trials walk disjoint, uncorrelated windows of the splitmix64
+//     sequence (pinned by TestRNGAdjacentStreamsIndependent) and
+//     campaigns stay embarrassingly parallel and byte-identical at any
+//     worker count. Not bitwise-comparable to math/rand, statistically
 //     equivalent for Monte-Carlo use.
 type rngState struct {
 	state uint64
@@ -35,9 +37,16 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// init keys the stream. Splitting is positional: the trial index advances
-// the pre-mixed counter, so stream k is reachable without generating
-// streams 0..k-1.
+// init keys the stream. Splitting is positional: the trial index offsets
+// the pre-mixed seed, and the sum is mixed *again* before it becomes the
+// counter start, so stream k is reachable without generating streams
+// 0..k-1. The second mix64 is load-bearing: without it the counter start
+// would be mix64(seed) + trial·golden, making trial t+1's stream the
+// one-draw-shifted window of trial t's (next() advances by the same
+// golden increment) — maximally correlated adjacent trials. Mixing
+// scatters the starts, so two streams could only share draws if their
+// mixed starts differed by an exact multiple of golden within a
+// horizon's worth of draws (see TestRNGAdjacentStreamsIndependent).
 func (r *rngState) init(seed, trial int64, exact bool) {
 	if exact {
 		if r.exact == nil {
@@ -48,7 +57,7 @@ func (r *rngState) init(seed, trial int64, exact bool) {
 		return
 	}
 	r.exact = nil
-	r.state = mix64(uint64(seed)) + uint64(trial)*golden
+	r.state = mix64(mix64(uint64(seed)) + uint64(trial)*golden)
 }
 
 //hbvet:noalloc

@@ -2,11 +2,11 @@ package ensemble
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Variant names one member of the paper's protocol family for sweeps.
@@ -82,8 +82,13 @@ type DetectionPoint struct {
 	Detected, Missed int
 	MeanDelay, CI95  float64
 	P50, P99, Max    float64
-	Bound            core.Tick
-	Rounds           uint64
+	// QuantRes is the delay sketch's bucket width: P50/P99 are bucket
+	// lower edges, so each can read low by up to QuantRes. It is 1 (an
+	// exact tick order statistic) unless the delay range exceeds the
+	// sketch capacity and the buckets coarsen.
+	QuantRes float64
+	Bound    core.Tick
+	Rounds   uint64
 }
 
 // SweepDetection regenerates the Q2 surface (detection-latency
@@ -116,6 +121,7 @@ func SweepDetection(variants []Variant, times [][2]core.Tick, trials int, seed i
 				p.MeanDelay, p.CI95, _ = res.Delay.MeanCI95()
 				p.P50, _ = res.DelayQ.Quantile(0.5)
 				p.P99, _ = res.DelayQ.Quantile(0.99)
+				p.QuantRes = res.DelayQ.Width()
 				p.Max, _ = res.Delay.Max()
 			}
 			out = append(out, p)
@@ -160,7 +166,8 @@ func SweepReliability(variants []Variant, tmin, tmax core.Tick, losses []float64
 				PFalse: float64(res.FalseTrials) / float64(trials),
 				Rounds: res.Rounds,
 			}
-			p.WilsonLo, p.WilsonHi = wilson95(res.FalseTrials, trials)
+			ratio := stats.Ratio{Successes: res.FalseTrials, Trials: trials}
+			p.WilsonLo, p.WilsonHi, _ = ratio.Wilson95()
 			if res.FalseTrials > 0 {
 				p.MeanTTF, p.TTFCI95, _ = res.TimeToFalse.MeanCI95()
 			}
@@ -168,19 +175,4 @@ func SweepReliability(variants []Variant, tmin, tmax core.Tick, losses []float64
 		}
 	}
 	return out, nil
-}
-
-// wilson95 is the Wilson score interval (mirrors stats.Ratio.Wilson95
-// without constructing a Ratio).
-func wilson95(successes, trials int) (lo, hi float64) {
-	if trials == 0 {
-		return 0, 0
-	}
-	const z = 1.96
-	n := float64(trials)
-	p := float64(successes) / n
-	denom := 1 + z*z/n
-	center := (p + z*z/(2*n)) / denom
-	half := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
-	return max(0, center-half), min(1, center+half)
 }

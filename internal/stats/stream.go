@@ -179,27 +179,46 @@ func (q *QuantileSketch) Merge(o *QuantileSketch) error {
 // N returns the number of observations.
 func (q *QuantileSketch) N() uint64 { return q.Total }
 
+// Width returns the bucket width — the resolution of every quantile
+// estimate. An estimate can be off by strictly less than one width.
+func (q *QuantileSketch) Width() float64 {
+	return (q.Hi - q.Lo) / float64(len(q.Buckets))
+}
+
 // Quantile returns the value at quantile p in [0, 1]: the lower edge of
 // the bucket holding the ceil(p·n)-th order statistic. With unit-width
-// buckets over integer data this is the exact order statistic.
+// buckets over integer data this is the exact order statistic; with
+// coarser buckets the true quantile lies in [edge, edge+Width()), so
+// the point estimate is biased low by up to one bucket width — use
+// QuantileBounds when the error bar matters, and Width to report the
+// sketch's resolution alongside the estimate.
 func (q *QuantileSketch) Quantile(p float64) (float64, error) {
+	lo, _, err := q.QuantileBounds(p)
+	return lo, err
+}
+
+// QuantileBounds returns the bucket interval [lo, hi) that contains the
+// quantile-p order statistic: lo is Quantile's point estimate and
+// hi - lo is one bucket width, the estimate's worst-case error.
+func (q *QuantileSketch) QuantileBounds(p float64) (lo, hi float64, err error) {
 	if q.Total == 0 {
-		return 0, ErrEmpty
+		return 0, 0, ErrEmpty
 	}
 	if p < 0 || p > 1 {
-		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", p)
+		return 0, 0, fmt.Errorf("stats: quantile %v out of [0,1]", p)
 	}
 	rank := uint64(math.Ceil(p * float64(q.Total)))
 	if rank < 1 {
 		rank = 1
 	}
 	var seen uint64
-	width := (q.Hi - q.Lo) / float64(len(q.Buckets))
+	width := q.Width()
 	for i, c := range q.Buckets {
 		seen += c
 		if seen >= rank {
-			return q.Lo + float64(i)*width, nil
+			lo = q.Lo + float64(i)*width
+			return lo, lo + width, nil
 		}
 	}
-	return q.Hi, nil
+	return q.Hi, q.Hi + width, nil
 }

@@ -156,6 +156,50 @@ func TestQuantileSketchMatchesSample(t *testing.T) {
 	}
 }
 
+// property: with buckets coarser than the data, the point estimate is
+// the bucket lower edge, QuantileBounds brackets the exact order
+// statistic, and the bracket is exactly one Width() wide — the error
+// bar a caller reports when the sketch has coarsened.
+func TestQuantileBoundsBracketExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		hi := 1000 + rng.Intn(4000)
+		nb := 8 + rng.Intn(60)
+		n := 100 + rng.Intn(3000)
+		var s Sample
+		q, err := NewQuantileSketch(0, float64(hi), nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := q.Width(), float64(hi)/float64(nb); got != want {
+			t.Fatalf("trial %d: width %g, want %g", trial, got, want)
+		}
+		for i := 0; i < n; i++ {
+			v := float64(rng.Intn(hi))
+			s.Add(v)
+			q.Add(v)
+		}
+		eps := 1e-9 * float64(hi)
+		for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			lo, bhi, err := q.QuantileBounds(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := bhi - lo; !closeRel(got, q.Width(), 1e-9) {
+				t.Fatalf("trial %d: bounds span %g, want one bucket width %g", trial, got, q.Width())
+			}
+			point, err := q.Quantile(p)
+			if err != nil || point != lo {
+				t.Fatalf("trial %d: Quantile %g != bounds lower edge %g (err %v)", trial, point, lo, err)
+			}
+			exact := exactQuantile(&s, p)
+			if exact < lo-eps || exact >= bhi+eps {
+				t.Fatalf("trial %d: exact q(%g) = %g outside bucket [%g, %g)", trial, p, exact, lo, bhi)
+			}
+		}
+	}
+}
+
 // exactQuantile computes the ceil(p*n)-th order statistic via Percentile's
 // sorted backing store.
 func exactQuantile(s *Sample, p float64) float64 {
