@@ -4,15 +4,29 @@
 //	hbvet ./...                      # everything (from the module root)
 //	hbvet ./internal/sim ./internal/mc
 //	hbvet -check determinism,map-order ./...
+//	hbvet -json ./...                # machine-readable findings (CI artifact)
+//	hbvet -escape                    # compiler escape-budget gate
+//	hbvet -escape -update            # regenerate the escape budget
 //	hbvet -list                      # describe the checks
 //
-// The five checks enforce the conventions the checker and simulator
-// correctness hangs on: deterministic replay (no wall-clock or global
-// rand), map-iteration-order hygiene, the ta.Successors/AppendKey
-// buffer-reuse contract, //hbvet:noalloc allocation discipline on
-// annotated hot paths, and atomic-vs-plain access discipline. Findings
-// print as file:line:col: message [check]; exit status is 1 when any
-// finding survives //lint:allow suppression, 2 on usage or load errors.
+// The per-package checks enforce the conventions the checker and
+// simulator correctness hangs on: deterministic replay (no wall-clock
+// or global rand), map-iteration-order hygiene, the
+// ta.Successors/AppendKey buffer-reuse contract, //hbvet:noalloc
+// allocation discipline on annotated hot paths, and atomic-vs-plain
+// access discipline. On top of them run the interprocedural checks over
+// the module call graph: noalloc-closure (every function reachable from
+// a //hbvet:noalloc root must be allocation-free or annotated, with
+// full call chains in findings), determinism-taint (only the
+// allowlisted wall-clock boundary may transitively reach time.Now or
+// global math/rand), and unused-suppression (//lint:allow directives
+// that suppress nothing are findings). -escape bypasses the AST layer
+// entirely: it diffs the compiler's own heap diagnostics for the
+// hot-path packages against the checked-in escape_budget.txt.
+//
+// Findings print as file:line:col: message [check]; exit status is 1
+// when any finding survives //lint:allow suppression, 2 on usage or
+// load errors.
 package main
 
 import (
@@ -27,21 +41,24 @@ import (
 
 func main() {
 	var (
-		checks = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
-		list   = flag.Bool("list", false, "list the available checks and exit")
-		root   = flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+		checks  = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
+		list    = flag.Bool("list", false, "list the available checks and exit")
+		root    = flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+		jsonOut = flag.Bool("json", false, "emit findings as schema-versioned JSON on stdout")
+		escape  = flag.Bool("escape", false, "run the compiler escape-budget gate instead of the AST checks")
+		update  = flag.Bool("update", false, "with -escape: regenerate the budget file instead of diffing")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range lint.ProgramAnalyzers() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-20s %s\n", "escape-budget", "compiler heap diagnostics for hot-path packages must match escape_budget.txt (-escape)")
 		return
-	}
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
 	}
 
 	moduleRoot := *root
@@ -54,7 +71,19 @@ func main() {
 		}
 	}
 
-	n, err := run(moduleRoot, patterns, splitChecks(*checks))
+	var (
+		n   int
+		err error
+	)
+	if *escape {
+		n, err = runEscape(moduleRoot, *update, *jsonOut)
+	} else {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		n, err = run(moduleRoot, patterns, splitChecks(*checks), *jsonOut)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hbvet:", err)
 		os.Exit(2)
@@ -97,9 +126,10 @@ func findModuleRoot() (string, error) {
 	}
 }
 
-// run loads the packages and prints the findings, returning how many
-// there were.
-func run(root string, patterns, checks []string) (int, error) {
+// run loads the packages as one program, runs the per-package and
+// interprocedural analyzers, and prints the findings, returning how
+// many there were.
+func run(root string, patterns, checks []string, jsonOut bool) (int, error) {
 	ld, err := lint.NewLoader(root)
 	if err != nil {
 		return 0, err
@@ -108,17 +138,50 @@ func run(root string, patterns, checks []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	cfg := lint.Config{Checks: checks}
-	total := 0
-	for _, pkg := range pkgs {
-		for _, f := range lint.RunPackage(pkg, cfg) {
-			rel := f
-			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-				rel.Pos.Filename = r
-			}
-			fmt.Println(rel.String())
-			total++
+	findings := lint.NewProgram(pkgs).Run(lint.Config{Checks: checks})
+	relativize(root, findings)
+	return len(findings), emit(findings, jsonOut)
+}
+
+// runEscape diffs (or regenerates, with update) the compiler escape
+// budget for the hot-path packages.
+func runEscape(root string, update, jsonOut bool) (int, error) {
+	sites, err := lint.EscapeSites(root, lint.HotPathPackages)
+	if err != nil {
+		return 0, err
+	}
+	budgetPath := filepath.Join(root, lint.EscapeBudgetFile)
+	if update {
+		if err := lint.WriteEscapeBudget(budgetPath, sites); err != nil {
+			return 0, err
+		}
+		fmt.Printf("hbvet: wrote %s: %d heap-allocation site classes across %d packages\n",
+			lint.EscapeBudgetFile, len(sites), len(lint.HotPathPackages))
+		return 0, nil
+	}
+	budget, err := lint.LoadEscapeBudget(budgetPath)
+	if err != nil {
+		return 0, fmt.Errorf("loading escape budget (run `hbvet -escape -update` to create it): %w", err)
+	}
+	findings := lint.DiffEscapeBudget(budget, sites)
+	return len(findings), emit(findings, jsonOut)
+}
+
+// relativize rewrites absolute finding paths to module-relative ones.
+func relativize(root string, findings []lint.Finding) {
+	for i := range findings {
+		if r, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			findings[i].Pos.Filename = filepath.ToSlash(r)
 		}
 	}
-	return total, nil
+}
+
+func emit(findings []lint.Finding, jsonOut bool) error {
+	if jsonOut {
+		return lint.EncodeJSON(os.Stdout, findings)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	return nil
 }

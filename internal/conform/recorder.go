@@ -40,6 +40,8 @@ func (r *Recorder) Reset() {
 }
 
 // ObserveStep implements detector.Observer.
+//
+//lint:allow noalloc-closure the recording observer allocates trace labels by design; conformance runs trade allocations for checking
 func (r *Recorder) ObserveStep(id netem.NodeID, now core.Tick, tr detector.Trigger, actions []core.Action) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

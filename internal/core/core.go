@@ -283,9 +283,11 @@ var ErrConfig = errors.New("core: invalid config")
 // Validate checks the constraint 0 < TMin <= TMax from the papers.
 func (c Config) Validate() error {
 	if c.TMin <= 0 {
+		//lint:allow noalloc-closure cold validation error; a valid config retunes without entering this branch
 		return fmt.Errorf("%w: tmin %d must be positive", ErrConfig, c.TMin)
 	}
 	if c.TMax < c.TMin {
+		//lint:allow noalloc-closure cold validation error; a valid config retunes without entering this branch
 		return fmt.Errorf("%w: tmax %d < tmin %d", ErrConfig, c.TMax, c.TMin)
 	}
 	return nil
@@ -399,9 +401,11 @@ func (b Beat) AppendMarshal(dst []byte) []byte {
 // UnmarshalBeat decodes a beat produced by Marshal.
 func UnmarshalBeat(data []byte) (Beat, error) {
 	if len(data) != beatWire {
+		//lint:allow noalloc-closure malformed-frame error path; well-formed batches never enter it
 		return Beat{}, fmt.Errorf("%w: length %d", ErrBadBeat, len(data))
 	}
 	if data[0] != 1 {
+		//lint:allow noalloc-closure malformed-frame error path; well-formed batches never enter it
 		return Beat{}, fmt.Errorf("%w: version %d", ErrBadBeat, data[0])
 	}
 	return Beat{

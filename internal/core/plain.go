@@ -126,6 +126,7 @@ func (c *PlainCoordinator) OnTimer(id TimerID, now Tick) []Action {
 	}
 	if len(suspects) > 0 {
 		// Terminal (inactivating) path; the sort's allocation is harmless.
+		//lint:allow noalloc-closure the naive baseline coordinator sorts per tick by design; kept for comparison benchmarks, outside the 0-alloc pin
 		sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
 		c.status = StatusInactive
 		actions := c.acts[:0]

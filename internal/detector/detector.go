@@ -47,8 +47,10 @@ func (c SimClock) After(d core.Tick, fn func()) (cancel func()) {
 		// Machines only arm non-negative delays; a failure here is a
 		// programming error inside this package, and silently dropping
 		// the timer would hang the protocol.
+		//lint:allow noalloc-closure cold panic path; machines only arm non-negative delays
 		panic(fmt.Sprintf("detector: scheduling timer: %v", err))
 	}
+	//lint:allow noalloc-closure generic-clock cancel handle allocates once per arm; the hot path arms through setSimTimer
 	return func() { tm.Cancel() }
 }
 
@@ -76,6 +78,7 @@ func (c WallClock) Now() core.Tick {
 // After implements Clock.
 func (c WallClock) After(d core.Tick, fn func()) (cancel func()) {
 	t := time.AfterFunc(time.Duration(d)*c.TickLen, fn)
+	//lint:allow noalloc-closure wall-clock timer handle; the 0-alloc pin drives the SimClock fast path
 	return func() { t.Stop() }
 }
 
@@ -167,6 +170,8 @@ type EventSink interface {
 type EventFunc func(Event)
 
 // HandleEvent implements EventSink.
+//
+//lint:allow noalloc-closure EventFunc adapts an installer-supplied sink; the bundled sinks (Supervisor, conform) are checked in their own right
 func (f EventFunc) HandleEvent(e Event) { f(e) }
 
 // Config assembles a Node.
@@ -316,6 +321,7 @@ func (n *Node) runGuarded(tr Trigger, fn func() []core.Action) (recovered any) {
 			recovered = r
 		}
 	}()
+	//lint:allow noalloc-closure fn is the machine-step closure built at each call site; its body is attributed to and checked at those sites
 	actions := fn()
 	n.observe(tr, actions)
 	n.apply(actions)
@@ -410,6 +416,7 @@ func (n *Node) onTimer(id core.TimerID, gen uint64) {
 		// taking one zero-delay hop through the scheduler.
 		n.seq[id]++
 		gen := n.seq[id]
+		//lint:allow noalloc-closure generic-clock rearm hop allocates one closure; the SimClock fast path hops through setSimTimer instead
 		n.timers[id] = n.cfg.Clock.After(0, func() { n.fireTimer(id, gen) })
 		n.mu.Unlock()
 		return
@@ -425,12 +432,14 @@ func (n *Node) fireTimer(id core.TimerID, gen uint64) {
 		return
 	}
 	delete(n.timers, id)
+	//lint:allow hot-path-alloc closure does not escape runGuarded (called inline, not retained), so it stays on the stack
 	rec := n.runGuarded(Trigger{Kind: TriggerTimer, Timer: id}, func() []core.Action {
 		return n.cfg.Machine.OnTimer(id, n.cfg.Clock.Now())
 	})
 	h := n.recoverFn
 	n.mu.Unlock()
 	if rec != nil {
+		//lint:allow noalloc-closure recover handler runs only after a machine panic, never in steady state
 		h(n.cfg.ID, "timer", rec)
 	}
 }
@@ -455,6 +464,7 @@ func (n *Node) apply(actions []core.Action) {
 				continue
 			}
 			if cancel, ok := n.timers[act.ID]; ok {
+				//lint:allow noalloc-closure timer cancel handle built (and checked) at arm time; the sim handle is allocation-free
 				cancel()
 			}
 			n.seq[act.ID]++
@@ -470,6 +480,7 @@ func (n *Node) apply(actions []core.Action) {
 				continue
 			}
 			if cancel, ok := n.timers[act.ID]; ok {
+				//lint:allow noalloc-closure timer cancel handle built (and checked) at arm time; the sim handle is allocation-free
 				cancel()
 				delete(n.timers, act.ID)
 			}
@@ -510,6 +521,7 @@ func (n *Node) setSimTimer(id core.TimerID, d core.Tick) {
 			st.arm = func() {
 				tm, err := n.simc.Schedule(0, st.fire)
 				if err != nil {
+					//lint:allow noalloc-closure cold panic path; the zero-delay hop only fails on scheduler misuse
 					panic(fmt.Sprintf("detector: scheduling timer hop: %v", err))
 				}
 				st.tm = tm
@@ -541,6 +553,7 @@ func (n *Node) fireSimTimer(id core.TimerID) {
 	h := n.recoverFn
 	n.mu.Unlock()
 	if rec != nil {
+		//lint:allow noalloc-closure recover handler runs only after a machine panic, never in steady state
 		h(n.cfg.ID, "timer", rec)
 	}
 }

@@ -232,6 +232,7 @@ func (f *FaultableTransport) channel(key [2]netem.NodeID) *geChannel {
 	if params == nil {
 		return nil
 	}
+	//lint:allow noalloc-closure one Gilbert-Elliott channel per link, built lazily on first use and cached
 	ch := &geChannel{params: *params}
 	f.channels[key] = ch
 	return ch
@@ -298,7 +299,9 @@ func (f *FaultableTransport) Send(from, to netem.NodeID, payload []byte) error {
 		}
 		// The caller may reuse payload after Send returns; the delayed
 		// copy needs its own buffer.
+		//lint:allow noalloc-closure delayed delivery copies the payload because the caller may reuse its buffer after Send returns
 		data := append([]byte(nil), payload...)
+		//lint:allow noalloc-closure per-delayed-delivery timer closure; fault-delayed sends are off the steady-state path
 		f.tick.AfterTicks(d, func() {
 			if err := f.inner.Send(from, to, data); err != nil {
 				f.mu.Lock()

@@ -6,10 +6,11 @@ import (
 )
 
 // AnalyzerDeterminism bans nondeterminism sources outside the explicit
-// wall-clock boundary: wall-clock reads (time.Now and friends) and the
-// global math/rand generator. Campaign replay depends on every run being
-// a pure function of its seeds; one stray time.Now or rand.Intn breaks
-// byte-identical replay silently.
+// wall-clock boundary: wall-clock reads (time.Now and friends, and the
+// wall-clock methods on time's timer types) and the global math/rand
+// generator. Campaign replay depends on every run being a pure function
+// of its seeds; one stray time.Now or rand.Intn breaks byte-identical
+// replay silently.
 //
 // Seeded randomness is fine: methods on a *rand.Rand constructed via
 // rand.New(rand.NewSource(seed)) are not flagged, only the package-level
@@ -35,6 +36,14 @@ var wallClockFuncs = map[string]bool{
 	"AfterFunc": true,
 }
 
+// wallClockMethods are the methods on package time receiver types that
+// re-arm or drive physical timers — the method blind spot the original
+// package-function-only check had. Keyed "Type.Method".
+var wallClockMethods = map[string]bool{
+	"Timer.Reset":  true,
+	"Ticker.Reset": true,
+}
+
 // seededRandFuncs are the math/rand package-level functions that build
 // explicitly seeded state rather than touching the global generator.
 var seededRandFuncs = map[string]bool{
@@ -44,6 +53,46 @@ var seededRandFuncs = map[string]bool{
 	// math/rand/v2 constructors
 	"NewPCG":     true,
 	"NewChaCha8": true,
+}
+
+// nondetCallee classifies a function object as a nondeterminism source
+// when *any* call to it depends on the wall clock or the global rand
+// generator, returning a display label ("time.Now", "(*time.Timer).Reset",
+// "rand.Intn"). Shared by the intraprocedural check and the
+// interprocedural taint propagation.
+func nondetCallee(obj *types.Func) (label string, clock bool, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false, false
+	}
+	sig, sigOK := obj.Type().(*types.Signature)
+	if !sigOK {
+		return "", false, false
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if sig.Recv() == nil {
+			if wallClockFuncs[obj.Name()] {
+				return "time." + obj.Name(), true, true
+			}
+			return "", false, false
+		}
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return "", false, false
+		}
+		if wallClockMethods[named.Obj().Name()+"."+obj.Name()] {
+			return "(*time." + named.Obj().Name() + ")." + obj.Name(), true, true
+		}
+	case "math/rand", "math/rand/v2":
+		if sig.Recv() == nil && !seededRandFuncs[obj.Name()] {
+			return "rand." + obj.Name(), false, true
+		}
+	}
+	return "", false, false
 }
 
 func runDeterminism(p *Pass) {
@@ -61,23 +110,45 @@ func runDeterminism(p *Pass) {
 				return true
 			}
 			obj := calleeObj(p.Info, call)
-			if obj == nil || obj.Pkg() == nil {
+			label, clock, ok := nondetCallee(obj)
+			if !ok {
+				// time.Time.Sub of a wall-clock read is the classic
+				// "measure elapsed wall time" laundering shape; the Now
+				// inside is flagged on its own, this names the pattern.
+				if isMethod(obj, "time", "Time", "Sub") && mentionsWallClockCall(p.Info, call) {
+					p.Reportf(call.Pos(), "time.Time.Sub over a wall-clock read measures physical elapsed time and breaks deterministic replay; use the sim/detector clock (or allowlist this file)")
+				}
 				return true
 			}
-			if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
-				return true // methods never touch the global generator or clock here
-			}
-			switch obj.Pkg().Path() {
-			case "time":
-				if wallClockFuncs[obj.Name()] {
-					p.Reportf(call.Pos(), "wall-clock read time.%s breaks deterministic replay; use the sim/detector clock (or allowlist this file)", obj.Name())
-				}
-			case "math/rand", "math/rand/v2":
-				if !seededRandFuncs[obj.Name()] {
-					p.Reportf(call.Pos(), "global rand.%s uses the shared unseeded generator; construct a *rand.Rand from an explicit seed parameter", obj.Name())
-				}
+			switch {
+			case clock && obj.Type().(*types.Signature).Recv() != nil:
+				p.Reportf(call.Pos(), "wall-clock method %s re-arms a physical timer and breaks deterministic replay; use the sim/detector clock (or allowlist this file)", label)
+			case clock:
+				p.Reportf(call.Pos(), "wall-clock read %s breaks deterministic replay; use the sim/detector clock (or allowlist this file)", label)
+			default:
+				p.Reportf(call.Pos(), "global %s uses the shared unseeded generator; construct a *rand.Rand from an explicit seed parameter", label)
 			}
 			return true
 		})
 	}
+}
+
+// mentionsWallClockCall reports whether the call's receiver or argument
+// expressions contain a direct call to a wall-clock time function.
+func mentionsWallClockCall(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		inner, ok := n.(*ast.CallExpr)
+		if !ok || inner == call {
+			return true
+		}
+		if _, clock, ok := nondetCallee(calleeObj(info, inner)); ok && clock {
+			found = true
+		}
+		return true
+	})
+	return found
 }

@@ -146,6 +146,20 @@ func TestGoldenSyncDiscipline(t *testing.T) {
 	runGolden(t, "syncdiscipline", "sync-discipline", Config{})
 }
 
+// TestGoldenNoallocClosure is the seeded-mutant proof for the
+// interprocedural closure check: allocating helpers one and two call
+// levels below a //hbvet:noalloc root must be reported with the full
+// call chain, boundaries cut traversal, and site-level allows do not.
+func TestGoldenNoallocClosure(t *testing.T) {
+	runGolden(t, "closure", "noalloc-closure", Config{})
+}
+
+func TestGoldenDeterminismTaint(t *testing.T) {
+	runGolden(t, "taint", "determinism-taint", Config{
+		WallClockAllow: []string{"testdata/taint/boundary.go"},
+	})
+}
+
 // TestDirectiveHygiene pins the //lint:allow bookkeeping: justified and
 // used directives are silent, unjustified and unused ones are findings of
 // their own. (Expectations are asserted here rather than with want
@@ -159,14 +173,14 @@ func TestDirectiveHygiene(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings := RunPackage(pkgs[0], Config{Checks: []string{"determinism"}})
+	findings := RunPackage(pkgs[0], Config{Checks: []string{"determinism", "unused-suppression"}})
 	var got []string
 	for _, f := range findings {
 		got = append(got, f.Check+": "+f.Message)
 	}
 	wantSubstr := []string{
 		"lint: //lint:allow determinism needs a justification",
-		"lint: //lint:allow determinism suppresses nothing",
+		"unused-suppression: //lint:allow determinism suppresses nothing",
 	}
 	if len(got) != len(wantSubstr) {
 		t.Fatalf("want %d findings, got %v", len(wantSubstr), got)
@@ -174,6 +188,15 @@ func TestDirectiveHygiene(t *testing.T) {
 	for i, w := range wantSubstr {
 		if !strings.Contains(got[i], w) {
 			t.Errorf("finding %d = %q, want it to contain %q", i, got[i], w)
+		}
+	}
+
+	// A run restricted away from the directive's check cannot know the
+	// directive is dead: unused-suppression must stay silent about it.
+	restricted := RunPackage(pkgs[0], Config{Checks: []string{"map-order", "unused-suppression"}})
+	for _, f := range restricted {
+		if f.Check == "unused-suppression" {
+			t.Errorf("unused-suppression fired for a check that did not run: %s", f)
 		}
 	}
 }

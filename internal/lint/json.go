@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The -json findings mode: a schema-stable machine-readable rendering
+// for CI artifacts, so finding sets are diffable across PRs. The schema
+// is golden-tested (json_test.go); bump Version on any incompatible
+// change.
+
+// JSONVersion is the findings-schema version.
+const JSONVersion = 1
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Version  int           `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// jsonFinding is one finding. File is module-relative when the caller
+// relativized it (cmd/hbvet does); Chain is present only on
+// interprocedural findings, outermost (root) first.
+type jsonFinding struct {
+	Check   string   `json:"check"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Message string   `json:"message"`
+	Chain   []string `json:"chain,omitempty"`
+}
+
+// EncodeJSON writes the findings as the versioned JSON document,
+// indented, with a trailing newline. An empty finding set encodes as an
+// empty array, never null.
+func EncodeJSON(w io.Writer, findings []Finding) error {
+	report := jsonReport{Version: JSONVersion, Findings: []jsonFinding{}}
+	for _, f := range findings {
+		report.Findings = append(report.Findings, jsonFinding{
+			Check:   f.Check,
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Message: f.Message,
+			Chain:   f.Chain,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -48,6 +48,10 @@ type Finding struct {
 	Check   string
 	Pos     token.Position
 	Message string
+	// Chain is the call chain from an interprocedural root to the
+	// offending site (noalloc-closure, determinism-taint), outermost
+	// first; empty for intraprocedural findings.
+	Chain []string
 }
 
 // String formats the finding as file:line:col: message [check].
@@ -97,7 +101,7 @@ var DefaultWallClockAllow = []string{
 	"cmd/hbmc/main.go",              // ensemble sweep timestamps and timings
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the per-package suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerDeterminism,
@@ -106,6 +110,66 @@ func Analyzers() []*Analyzer {
 		AnalyzerNoAlloc,
 		AnalyzerSyncDiscipline,
 	}
+}
+
+// ProgramAnalyzer is one interprocedural check: it sees the whole
+// loaded program (and its call graph) at once instead of one package.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ProgramPass)
+}
+
+// ProgramPass carries the program through one interprocedural analyzer.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Prog     *Program
+	Config   Config
+
+	findings *[]Finding
+	supp     *suppressions
+}
+
+// Sanctioned reports whether pos is covered by a //lint:allow directive
+// for the named check, marking the directive used. Interprocedural
+// analyzers call it at decision points that produce no finding — cutting
+// closure traversal through a call edge, declining to seed taint — so
+// the directive still registers as live for unused-suppression.
+func (p *ProgramPass) Sanctioned(check string, pos token.Pos) bool {
+	return p.supp != nil && p.supp.sanction(check, p.Prog.Fset.Position(pos))
+}
+
+// Reportf records a finding at pos with an optional call chain.
+func (p *ProgramPass) Reportf(pos token.Pos, chain []string, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Prog.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
+	})
+}
+
+// ProgramAnalyzers returns the interprocedural suite in reporting
+// order. unused-suppression is listed here but implemented by the
+// driver (it must see every other analyzer's surviving findings).
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		AnalyzerNoallocClosure,
+		AnalyzerDeterminismTaint,
+		AnalyzerUnusedSuppression,
+	}
+}
+
+// AnalyzerUnusedSuppression reports //lint:allow directives that
+// suppress nothing. It is driver-implemented: after every enabled check
+// has run and suppressions are applied, a directive for a check that
+// ran but matched no finding is dead weight — it documents a risk that
+// no longer exists. Directives for checks that did not run this
+// invocation are left alone (a restricted -check run cannot know).
+var AnalyzerUnusedSuppression = &ProgramAnalyzer{
+	Name: "unused-suppression",
+	Doc:  "//lint:allow directives must suppress at least one finding of a check that ran",
+	Run:  nil, // driver-implemented, see applySuppressions
 }
 
 // Reportf records a finding at pos.
@@ -152,27 +216,57 @@ func collectAllows(fset *token.FileSet, files []*ast.File) []allowDirective {
 	return out
 }
 
-// applySuppressions drops findings covered by an //lint:allow on the
-// same or the preceding line, and reports unjustified or unused
-// directives as findings of their own.
-func applySuppressions(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+// suppressions is the shared //lint:allow state of one run: the parsed
+// directives plus per-directive liveness. A directive is live when it
+// suppressed a finding or when an analyzer consulted it at a
+// non-reporting decision point (ProgramPass.Sanctioned).
+type suppressions struct {
+	fset   *token.FileSet
+	allows []allowDirective
+	used   []bool
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 	allows := collectAllows(fset, files)
-	if len(allows) == 0 {
+	return &suppressions{fset: fset, allows: allows, used: make([]bool, len(allows))}
+}
+
+// covers reports whether directive i sits on the same or the preceding
+// line of pos (the suppression placement contract).
+func (s *suppressions) covers(i int, pos token.Position) bool {
+	d := s.allows[i]
+	return s.fset.Position(d.pos).Filename == pos.Filename &&
+		(d.line == pos.Line || d.line == pos.Line-1)
+}
+
+// sanction marks every directive for check covering pos as used and
+// reports whether there was one.
+func (s *suppressions) sanction(check string, pos token.Position) bool {
+	hit := false
+	for i, d := range s.allows {
+		if d.check == check && s.covers(i, pos) {
+			s.used[i] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// apply drops findings covered by an //lint:allow on the same or the
+// preceding line, reports unjustified directives, and — when the
+// unused-suppression check is enabled — reports directives that
+// suppressed nothing although their check ran (ran holds the names of
+// the checks that ran this invocation).
+func (s *suppressions) apply(findings []Finding, ran map[string]bool, reportUnused bool) []Finding {
+	if len(s.allows) == 0 {
 		return findings
 	}
-	used := make([]bool, len(allows))
 	kept := findings[:0]
 	for _, f := range findings {
 		suppressed := false
-		for i, d := range allows {
-			if d.check != f.Check {
-				continue
-			}
-			if fset.Position(d.pos).Filename != f.Pos.Filename {
-				continue
-			}
-			if d.line == f.Pos.Line || d.line == f.Pos.Line-1 {
-				used[i] = true
+		for i, d := range s.allows {
+			if d.check == f.Check && s.covers(i, f.Pos) {
+				s.used[i] = true
 				suppressed = true
 			}
 		}
@@ -180,44 +274,65 @@ func applySuppressions(fset *token.FileSet, files []*ast.File, findings []Findin
 			kept = append(kept, f)
 		}
 	}
-	for i, d := range allows {
+	for i, d := range s.allows {
 		if !d.justified {
 			kept = append(kept, Finding{
 				Check:   "lint",
-				Pos:     fset.Position(d.pos),
+				Pos:     s.fset.Position(d.pos),
 				Message: fmt.Sprintf("//lint:allow %s needs a justification comment", d.check),
 			})
-		} else if !used[i] {
+		} else if reportUnused && !s.used[i] && ran[d.check] {
 			kept = append(kept, Finding{
-				Check:   "lint",
-				Pos:     fset.Position(d.pos),
-				Message: fmt.Sprintf("//lint:allow %s suppresses nothing", d.check),
+				Check:   "unused-suppression",
+				Pos:     s.fset.Position(d.pos),
+				Message: fmt.Sprintf("//lint:allow %s suppresses nothing; the risk it documents no longer exists — delete it", d.check),
 			})
 		}
 	}
 	return kept
 }
 
-// RunPackage runs the configured analyzers over one loaded package and
-// returns the surviving findings sorted by position.
-func RunPackage(pkg *Package, cfg Config) []Finding {
+// Run runs the configured analyzers — per-package and interprocedural —
+// over the whole program and returns the surviving findings sorted by
+// position.
+func (prog *Program) Run(cfg Config) []Finding {
 	var findings []Finding
-	for _, a := range Analyzers() {
-		if len(cfg.Checks) > 0 && !containsString(cfg.Checks, a.Name) {
+	ran := map[string]bool{}
+	enabled := func(name string) bool {
+		return len(cfg.Checks) == 0 || containsString(cfg.Checks, name)
+	}
+	var allFiles []*ast.File
+	for _, pkg := range prog.Pkgs {
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	supp := newSuppressions(prog.Fset, allFiles)
+	for _, pkg := range prog.Pkgs {
+		for _, a := range Analyzers() {
+			if !enabled(a.Name) {
+				continue
+			}
+			ran[a.Name] = true
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Config:   cfg,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+	for _, a := range ProgramAnalyzers() {
+		if a.Run == nil || !enabled(a.Name) {
 			continue
 		}
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			Config:   cfg,
-			findings: &findings,
-		}
+		ran[a.Name] = true
+		pass := &ProgramPass{Analyzer: a, Prog: prog, Config: cfg, findings: &findings, supp: supp}
 		a.Run(pass)
 	}
-	findings = applySuppressions(pkg.Fset, pkg.Files, findings)
+	findings = supp.apply(findings, ran, enabled(AnalyzerUnusedSuppression.Name))
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -232,6 +347,13 @@ func RunPackage(pkg *Package, cfg Config) []Finding {
 		return findings[i].Check < findings[j].Check
 	})
 	return findings
+}
+
+// RunPackage runs the configured analyzers over one loaded package
+// (treated as a single-package program) and returns the surviving
+// findings sorted by position.
+func RunPackage(pkg *Package, cfg Config) []Finding {
+	return NewProgram([]*Package{pkg}).Run(cfg)
 }
 
 func containsString(list []string, s string) bool {

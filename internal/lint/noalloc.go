@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -57,18 +59,42 @@ func runNoAlloc(p *Pass) {
 			if !ok || fn.Body == nil || !HasNoallocDirective(fn) {
 				continue
 			}
-			w := &noallocWalker{p: p, fn: fn}
+			w := &noallocWalker{info: p.Info, fn: fn, where: "noalloc function " + fn.Name.Name, report: p.Reportf}
 			w.block(fn.Body)
 		}
 	}
+}
+
+// noallocViolation is one likely allocation site collected by the
+// walker when it runs detached from a Pass (the closure analyzer checks
+// unannotated reachable functions this way).
+type noallocViolation struct {
+	Pos     token.Pos
+	Message string
+}
+
+// collectNoallocViolations runs the allocation-site walker over fn's
+// body without reporting, returning the violations in source order.
+func collectNoallocViolations(info *types.Info, fn *ast.FuncDecl) []noallocViolation {
+	var out []noallocViolation
+	w := &noallocWalker{info: info, fn: fn, where: "function " + fn.Name.Name, report: func(pos token.Pos, format string, args ...any) {
+		out = append(out, noallocViolation{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}}
+	w.block(fn.Body)
+	return out
 }
 
 // noallocWalker walks one annotated function body tracking just enough
 // context (immediate-call parents, enclosing assignment targets) to
 // classify each node.
 type noallocWalker struct {
-	p  *Pass
-	fn *ast.FuncDecl
+	info *types.Info
+	fn   *ast.FuncDecl
+	// where names the function in messages: "noalloc function Step" for
+	// annotated bodies, plain "function Step" when the closure check
+	// walks an unannotated reachable function.
+	where  string
+	report func(pos token.Pos, format string, args ...any)
 }
 
 func (w *noallocWalker) block(body *ast.BlockStmt) {
@@ -76,7 +102,7 @@ func (w *noallocWalker) block(body *ast.BlockStmt) {
 		switch node := n.(type) {
 		case *ast.FuncLit:
 			if !w.immediatelyInvoked(body, node) {
-				w.p.Reportf(node.Pos(), "closure in noalloc function %s likely escapes and allocates", w.fn.Name.Name)
+				w.report(node.Pos(), "closure in %s likely escapes and allocates", w.where)
 			}
 			return false // the closure body runs outside the annotated path
 		case *ast.CallExpr:
@@ -84,15 +110,15 @@ func (w *noallocWalker) block(body *ast.BlockStmt) {
 		case *ast.UnaryExpr:
 			if node.Op.String() == "&" {
 				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
-					w.p.Reportf(node.Pos(), "address-taken composite literal allocates in noalloc function %s", w.fn.Name.Name)
+					w.report(node.Pos(), "address-taken composite literal allocates in %s", w.where)
 				}
 			}
 		case *ast.CompositeLit:
-			t := w.p.Info.TypeOf(node)
+			t := w.info.TypeOf(node)
 			if t != nil {
 				switch t.Underlying().(type) {
 				case *types.Slice, *types.Map:
-					w.p.Reportf(node.Pos(), "%s literal allocates its backing store in noalloc function %s", kindName(t), w.fn.Name.Name)
+					w.report(node.Pos(), "%s literal allocates its backing store in %s", kindName(t), w.where)
 				}
 			}
 		case *ast.AssignStmt:
@@ -100,10 +126,10 @@ func (w *noallocWalker) block(body *ast.BlockStmt) {
 		case *ast.ReturnStmt:
 			w.returnStmt(node)
 		case *ast.BinaryExpr:
-			if nt := w.p.Info.TypeOf(node); nt != nil && node.Op.String() == "+" {
+			if nt := w.info.TypeOf(node); nt != nil && node.Op.String() == "+" {
 				if t, ok := nt.Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
-					if tv, ok := w.p.Info.Types[node]; !ok || tv.Value == nil {
-						w.p.Reportf(node.Pos(), "string concatenation allocates in noalloc function %s", w.fn.Name.Name)
+					if tv, ok := w.info.Types[node]; !ok || tv.Value == nil {
+						w.report(node.Pos(), "string concatenation allocates in %s", w.where)
 					}
 				}
 			}
@@ -138,7 +164,7 @@ func (w *noallocWalker) immediatelyInvoked(body *ast.BlockStmt, lit *ast.FuncLit
 
 func (w *noallocWalker) call(call *ast.CallExpr) {
 	// Type conversions.
-	if tv, ok := w.p.Info.Types[call.Fun]; ok && tv.IsType() {
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
 		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
 			w.ifaceConv(call.Args[0], tv.Type, "conversion")
 		}
@@ -146,12 +172,12 @@ func (w *noallocWalker) call(call *ast.CallExpr) {
 	}
 	// Builtins.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := w.p.Info.Uses[id].(*types.Builtin); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
-				w.p.Reportf(call.Pos(), "make allocates in noalloc function %s", w.fn.Name.Name)
+				w.report(call.Pos(), "make allocates in %s", w.where)
 			case "new":
-				w.p.Reportf(call.Pos(), "new allocates in noalloc function %s", w.fn.Name.Name)
+				w.report(call.Pos(), "new allocates in %s", w.where)
 			case "panic":
 				if len(call.Args) == 1 {
 					w.ifaceConv(call.Args[0], nil, "panic argument")
@@ -161,7 +187,7 @@ func (w *noallocWalker) call(call *ast.CallExpr) {
 		}
 	}
 	// Ordinary calls: check each argument against the parameter type.
-	sig, ok := w.p.Info.TypeOf(call.Fun).(*types.Signature)
+	sig, ok := w.info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return
 	}
@@ -183,7 +209,7 @@ func (w *noallocWalker) call(call *ast.CallExpr) {
 	}
 	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
 		// The variadic slice itself is allocated per call.
-		w.p.Reportf(call.Pos(), "variadic call allocates its argument slice in noalloc function %s", w.fn.Name.Name)
+		w.report(call.Pos(), "variadic call allocates its argument slice in %s", w.where)
 	}
 }
 
@@ -191,7 +217,7 @@ func (w *noallocWalker) call(call *ast.CallExpr) {
 // concrete value into an interface. A nil target means any-typed
 // (panic).
 func (w *noallocWalker) ifaceConv(expr ast.Expr, target types.Type, what string) {
-	tv, ok := w.p.Info.Types[expr]
+	tv, ok := w.info.Types[expr]
 	if !ok || tv.Value != nil || tv.IsNil() {
 		return // constants and nil are interned or pointer-free
 	}
@@ -207,7 +233,7 @@ func (w *noallocWalker) ifaceConv(expr ast.Expr, target types.Type, what string)
 	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
 		return
 	}
-	w.p.Reportf(expr.Pos(), "interface %s boxes a %s and may allocate in noalloc function %s", what, tv.Type.String(), w.fn.Name.Name)
+	w.report(expr.Pos(), "interface %s boxes a %s and may allocate in %s", what, tv.Type.String(), w.where)
 }
 
 func (w *noallocWalker) assign(st *ast.AssignStmt) {
@@ -218,16 +244,16 @@ func (w *noallocWalker) assign(st *ast.AssignStmt) {
 		// append discipline: growing a recycled slice in place
 		// (x = append(x, ...)) is amortised by the arena; any other
 		// shape builds a fresh slice.
-		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(w.p.Info, call) {
-			dst := baseObject(w.p.Info, st.Lhs[i])
-			src := baseObject(w.p.Info, call.Args[0])
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(w.info, call) {
+			dst := baseObject(w.info, st.Lhs[i])
+			src := baseObject(w.info, call.Args[0])
 			if dst == nil || src == nil || dst != src {
-				w.p.Reportf(call.Pos(), "append result lands in a different slice than its source in noalloc function %s; grow the recycled buffer in place (x = append(x, ...))", w.fn.Name.Name)
+				w.report(call.Pos(), "append result lands in a different slice than its source in %s; grow the recycled buffer in place (x = append(x, ...))", w.where)
 			}
 			continue
 		}
 		// Implicit interface conversion on assignment.
-		if lt := w.p.Info.TypeOf(st.Lhs[i]); lt != nil && types.IsInterface(lt) {
+		if lt := w.info.TypeOf(st.Lhs[i]); lt != nil && types.IsInterface(lt) {
 			w.ifaceConv(rhs, lt, "assignment")
 		}
 	}
@@ -239,7 +265,7 @@ func (w *noallocWalker) returnStmt(st *ast.ReturnStmt) {
 	}
 	var resultTypes []types.Type
 	for _, f := range w.fn.Type.Results.List {
-		t := w.p.Info.TypeOf(f.Type)
+		t := w.info.TypeOf(f.Type)
 		n := max(1, len(f.Names))
 		for k := 0; k < n; k++ {
 			resultTypes = append(resultTypes, t)

@@ -36,6 +36,18 @@ func durations() time.Duration {
 	return 3 * time.Millisecond // arithmetic on time types reads no clock
 }
 
+func rearmTimer(t *time.Timer, d time.Duration) {
+	t.Reset(d) // want "wall-clock method (*time.Timer).Reset re-arms a physical timer"
+}
+
+func rearmTicker(tk *time.Ticker, d time.Duration) {
+	tk.Reset(d) // want "wall-clock method (*time.Ticker).Reset re-arms a physical timer"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Now().Sub(start) // want "time.Time.Sub over a wall-clock read measures physical elapsed time" "wall-clock read time.Now"
+}
+
 func suppressed() time.Time {
 	//lint:allow determinism golden-test fixture for a justified suppression
 	return time.Now()

@@ -1,0 +1,49 @@
+// Package taint is hbvet golden-test input for interprocedural
+// determinism taint: only boundary.go is allowlisted, so every other
+// function that transitively reaches the wall clock or the global rand
+// generator is a finding, reported with its full laundering chain.
+package taint
+
+import (
+	"math/rand"
+	"time"
+)
+
+// nowMillis launders time.Now behind a wrapper: the taint seed.
+func nowMillis() int64 {
+	return time.Now().UnixMilli() // want "taint.nowMillis calls and so transitively reaches time.Now outside the wall-clock boundary (taint.nowMillis → time.Now)"
+}
+
+// stamp never touches the clock directly; it is tainted transitively
+// through nowMillis.
+func stamp() int64 {
+	return nowMillis() / 1000 // want "taint.stamp calls and so transitively reaches time.Now outside the wall-clock boundary (taint.stamp → taint.nowMillis → time.Now)"
+}
+
+// clockSource never calls the clock; capturing time.Now as a value
+// taints it all the same — the value can fire anywhere.
+func clockSource() func() time.Time {
+	return time.Now // want "taint.clockSource captures a reference to and so transitively reaches time.Now"
+}
+
+// pick launders the global generator.
+func pick(n int) int {
+	return rand.Intn(n) // want "taint.pick calls and so transitively reaches rand.Intn"
+}
+
+// viaBoundary calls the allowlisted boundary: boundary functions are
+// the sanctioned design, so no taint propagates to their callers.
+func viaBoundary() time.Time {
+	return WallNow()
+}
+
+// suppressedSource carries a justified determinism allow: the site does
+// not seed taint and callers stay clean.
+func suppressedSource() int64 {
+	//lint:allow determinism fixture: sanctioned wall-clock source
+	return time.Now().UnixNano()
+}
+
+func viaSuppressed() int64 {
+	return suppressedSource()
+}

@@ -286,6 +286,7 @@ func (e *explorer) expandWorker(ws *workerState, next *int64, levelEnd, chunk in
 //hbvet:noalloc
 func (e *explorer) expandState(ws *workerState, gid int) {
 	ws.scratch.DecodeKey(e.key(gid), e.numLocs, e.numClocks)
+	//lint:allow noalloc-closure prune/goal predicates are exploration configuration; the Options contract requires pure, allocation-free predicates
 	if e.prune != nil && e.prune(&ws.scratch) {
 		return
 	}
@@ -330,6 +331,7 @@ func (e *explorer) expandState(ws *workerState, gid int) {
 			// successor buffer; only the first occurrence's verdict is
 			// ever used. Concurrent calls require a pure goal predicate
 			// (see Options.Workers).
+			//lint:allow noalloc-closure prune/goal predicates are exploration configuration; the Options contract requires pure, allocation-free predicates
 			goalHit: e.goal != nil && e.goal(&tr.Target),
 		})
 		ws.perShard[sh] = append(ws.perShard[sh], ci)

@@ -88,6 +88,7 @@ func exploreSerial(n *ta.Network, goal, prune func(*ta.State) bool, limit int, w
 // order IS seq order).
 func (e *explorer) expandStateSerial(ws *workerState, gid int, goalID *int, limitHit *bool) {
 	ws.scratch.DecodeKey(e.key(gid), e.numLocs, e.numClocks)
+	//lint:allow noalloc-closure prune/goal predicates are exploration configuration; the Options contract requires pure, allocation-free predicates
 	if e.prune != nil && e.prune(&ws.scratch) {
 		return
 	}
@@ -122,6 +123,7 @@ func (e *explorer) expandStateSerial(ws *workerState, gid int, goalID *int, limi
 		seg.gids = append(seg.gids, int32(newGid))
 		e.index = append(e.index, packLoc(0, local))
 		e.info = append(e.info, nodeInfo{parent: gid, label: tr.Label, delay: tr.Delay})
+		//lint:allow noalloc-closure prune/goal predicates are exploration configuration; the Options contract requires pure, allocation-free predicates
 		if *goalID < 0 && e.goal != nil && e.goal(&tr.Target) {
 			*goalID = newGid
 		}

@@ -99,6 +99,7 @@ func (st *stateStore) internHashed(key []byte, h uint64) (id int, added bool) {
 // grow doubles the hash table and reinserts every id from its memoised
 // hash.
 func (st *stateStore) grow() {
+	//lint:allow noalloc-closure amortized hash-table doubling; O(1) amortized per intern and absent from the steady-state pins
 	next := make([]int32, 2*len(st.table))
 	mask := uint64(len(next) - 1)
 	for id, h := range st.hashes {

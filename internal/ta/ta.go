@@ -324,6 +324,7 @@ func (n *Network) enabled(s *State, a int, e *Edge) bool {
 	if int(s.Locs[a]) != e.From {
 		return false
 	}
+	//lint:allow noalloc-closure model-defined predicate (guard/update/invariant); the automaton definition contract requires it allocation-free, pinned by the mc alloc tests
 	return e.Guard == nil || e.Guard(s)
 }
 
@@ -445,6 +446,7 @@ func (c *SuccCtx) Successors(s *State, buf []Transition) []Transition {
 			buf, tr = appendTarget(buf, s)
 			tr.Target.Locs[ai] = uint8(e.To)
 			if e.Update != nil {
+				//lint:allow noalloc-closure model-defined predicate (guard/update/invariant); the automaton definition contract requires it allocation-free, pinned by the mc alloc tests
 				e.Update(&tr.Target)
 			}
 			tr.Label, tr.Class, tr.src = e.Label, e.Class, ai
@@ -497,9 +499,11 @@ func (n *Network) handshakeSuccessors(s *State, ch ChanID, committed []bool, buf
 			t.Locs[sr.aut] = uint8(se.To)
 			t.Locs[rr.aut] = uint8(re.To)
 			if se.Update != nil {
+				//lint:allow noalloc-closure model-defined predicate (guard/update/invariant); the automaton definition contract requires it allocation-free, pinned by the mc alloc tests
 				se.Update(t)
 			}
 			if re.Update != nil {
+				//lint:allow noalloc-closure model-defined predicate (guard/update/invariant); the automaton definition contract requires it allocation-free, pinned by the mc alloc tests
 				re.Update(t)
 			}
 			tr.Label = se.Label
@@ -565,6 +569,7 @@ func (c *SuccCtx) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 		t := &tr.Target
 		t.Locs[sr.aut] = uint8(se.To)
 		if se.Update != nil {
+			//lint:allow noalloc-closure model-defined predicate (guard/update/invariant); the automaton definition contract requires it allocation-free, pinned by the mc alloc tests
 			se.Update(t)
 		}
 		tr.Label, tr.Class, tr.src = se.Label, se.Class, sr.aut
@@ -572,6 +577,7 @@ func (c *SuccCtx) broadcastSuccessors(s *State, ch ChanID, committed []bool, buf
 			re := &n.automata[rr.aut].Edges[rr.edge]
 			t.Locs[rr.aut] = uint8(re.To)
 			if re.Update != nil {
+				//lint:allow noalloc-closure model-defined predicate (guard/update/invariant); the automaton definition contract requires it allocation-free, pinned by the mc alloc tests
 				re.Update(t)
 			}
 			if re.Class != ClassDefault {
@@ -602,6 +608,7 @@ func (n *Network) appendDelay(s *State, committed []bool, buf []Transition) []Tr
 	}
 	for i, a := range n.automata {
 		inv := a.Locations[s.Locs[i]].Invariant
+		//lint:allow noalloc-closure model-defined predicate (guard/update/invariant); the automaton definition contract requires it allocation-free, pinned by the mc alloc tests
 		if inv != nil && !inv(t) {
 			// Retract the speculative entry: the shorter buf leaves the
 			// slot (and its slices) in spare capacity for the next reuse.
@@ -675,6 +682,7 @@ func (c *SuccCtx) mustMoveNow(s *State) []bool {
 	out := c.scratchMust
 	for i, a := range n.automata {
 		inv := a.Locations[s.Locs[i]].Invariant
+		//lint:allow noalloc-closure model-defined predicate (guard/update/invariant); the automaton definition contract requires it allocation-free, pinned by the mc alloc tests
 		out[i] = inv != nil && !inv(t)
 	}
 	return out
