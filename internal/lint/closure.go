@@ -23,15 +23,15 @@ import (
 // the compiler escape-budget gate (hbvet -escape) is the backstop for
 // allocations no source heuristic can see.
 //
-// A //lint:allow noalloc-closure directive on (or directly above) a
-// function declaration marks that function an accepted allocation
-// boundary: its body and everything reachable only through it are
-// excluded from the proof (the conformance observers, the real-network
-// transports). Site-level directives suppress individual findings only
-// and never cut traversal — a justified closure literal must not
-// silently exempt the callee sharing its line. A boundary directive
-// counts as live for unused-suppression even though it suppresses no
-// literal finding.
+// A //lint:allow noalloc-closure directive in a function declaration's
+// doc comment marks that function an accepted allocation boundary: its
+// body and everything reachable only through it are excluded from the
+// proof (the conformance observers, the real-network transports). The
+// doc-comment position is what distinguishes a boundary — site-level
+// directives inside the body suppress individual findings only and
+// never cut traversal, even when they cover the declaration's first
+// line. A boundary directive counts as live for unused-suppression
+// even though it suppresses no literal finding.
 //
 // Site-level //lint:allow hot-path-alloc directives sanction this
 // check's *reports* too: both checks enforce the one allocation
@@ -81,8 +81,9 @@ var allocStdlibFuncs = map[string]bool{
 	"slices.Concat":       true,
 	"slices.Insert":       true,
 	"slices.Collect":      true,
-	"maps.Clone":          true,
-	"maps.Keys":           false, // iterator, no backing store
+	"maps.Clone": true,
+	// maps.Keys is absent deliberately: it returns an iterator with no
+	// backing store.
 	"math/rand.New":       true,
 	"math/rand.NewSource": true,
 	"math/rand.Perm":      true,
@@ -96,8 +97,9 @@ var allocStdlibMethods = map[string]bool{
 	"strings.Builder.Grow":        true,
 	"strings.Builder.WriteString": true,
 	"strings.Builder.Write":       true,
-	"bytes.Buffer.String":         true,
-	"bytes.Buffer.Bytes":          false, // aliases, does not copy
+	"bytes.Buffer.String": true,
+	// bytes.Buffer.Bytes is absent deliberately: it aliases the internal
+	// buffer without copying.
 	"time.Time.String":            true,
 	"time.Time.Format":            true,
 	"time.Duration.String":        true,
@@ -141,8 +143,8 @@ func runNoallocClosure(pp *ProgramPass) {
 	}
 	// A report is sanctioned under either allocation check's name (the
 	// two checks enforce one contract); traversal is cut only by a
-	// noalloc-closure directive on the declaration itself — a site-level
-	// allow justifies one finding, not the subtree behind its line.
+	// noalloc-closure directive in the declaration's doc comment — a
+	// site-level allow justifies one finding, not a subtree.
 	reportSanctioned := func(pos token.Pos) bool {
 		a := pp.Sanctioned("noalloc-closure", pos)
 		b := pp.Sanctioned("hot-path-alloc", pos)
@@ -156,9 +158,9 @@ func runNoallocClosure(pp *ProgramPass) {
 		if d == nil || d.decl.Body == nil {
 			continue
 		}
-		// A declaration-level suppression marks the whole function an
-		// accepted allocation boundary: skip its body and its callees.
-		if pp.Sanctioned("noalloc-closure", d.decl.Pos()) {
+		// A doc-comment suppression marks the whole function an accepted
+		// allocation boundary: skip its body and its callees.
+		if pp.SanctionedDecl("noalloc-closure", d.decl) {
 			continue
 		}
 		annotated := HasNoallocDirective(d.decl)

@@ -139,6 +139,20 @@ func (p *ProgramPass) Sanctioned(check string, pos token.Pos) bool {
 	return p.supp != nil && p.supp.sanction(check, p.Prog.Fset.Position(pos))
 }
 
+// SanctionedDecl reports whether the declaration carries a //lint:allow
+// directive for the named check *in its doc comment*, marking the
+// directive used. Declaration-level semantics (marking a whole function
+// an accepted boundary) demand the doc-comment position so a site-level
+// directive covering the declaration's first line — same line or the
+// line above, per the suppression placement contract — cannot silently
+// act as a boundary.
+func (p *ProgramPass) SanctionedDecl(check string, decl *ast.FuncDecl) bool {
+	if p.supp == nil || decl.Doc == nil {
+		return false
+	}
+	return p.supp.sanctionRange(check, decl.Doc.Pos(), decl.Doc.End())
+}
+
 // Reportf records a finding at pos with an optional call chain.
 func (p *ProgramPass) Reportf(pos token.Pos, chain []string, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
@@ -245,6 +259,20 @@ func (s *suppressions) sanction(check string, pos token.Position) bool {
 	hit := false
 	for i, d := range s.allows {
 		if d.check == check && s.covers(i, pos) {
+			s.used[i] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// sanctionRange marks every directive for check whose position falls in
+// [lo, hi] as used and reports whether there was one. Positions compare
+// directly: all packages of a program share one FileSet.
+func (s *suppressions) sanctionRange(check string, lo, hi token.Pos) bool {
+	hit := false
+	for i, d := range s.allows {
+		if d.check == check && d.pos >= lo && d.pos <= hi {
 			s.used[i] = true
 			hit = true
 		}

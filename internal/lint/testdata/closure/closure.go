@@ -13,6 +13,7 @@ func Root(n int) int {
 	x += dyn(pure)
 	x += boundary(n)
 	x += sitesup(n)
+	x += trailer(n)
 	x += annotated(n)
 	if x < 0 {
 		x += coldpath(n)
@@ -63,6 +64,15 @@ func boundary(n int) int {
 // the proof despite its allocation.
 func behindBoundary(n int) int {
 	b := make([]byte, n)
+	return len(b)
+}
+
+// trailer carries a same-line directive: positionally it covers the
+// declaration line, but only a doc-comment directive marks a boundary,
+// so the body still reports.
+func trailer(n int) int { //lint:allow noalloc-closure fixture: same-line directive stays site-level
+	x := n + 1
+	b := make([]byte, x) // want "make allocates in function trailer — reachable from noalloc root: closure.Root → closure.trailer"
 	return len(b)
 }
 
